@@ -1,0 +1,132 @@
+// Command eblow plans an e-beam stencil for one OSP instance. The instance
+// either comes from a JSON file (see cmd/ospgen) or is one of the named
+// synthetic benchmarks; the planner is E-BLOW by default, with the
+// prior-work baselines and the exact ILP available for comparison.
+//
+// Examples:
+//
+//	eblow -benchmark 1M-2
+//	eblow -instance design.json -algorithm greedy
+//	eblow -benchmark 1T-3 -algorithm exact -timeout 30s
+//	eblow -benchmark 2D-1 -out plan.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"eblow"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eblow: ")
+
+	var (
+		instancePath = flag.String("instance", "", "path to an instance JSON file")
+		benchmark    = flag.String("benchmark", "", "name of a built-in benchmark (e.g. 1M-2); see cmd/ospgen -list")
+		algorithm    = flag.String("algorithm", "eblow", "planner: eblow, greedy, heuristic24, row25, exact")
+		timeout      = flag.Duration("timeout", 30*time.Second, "time limit for exact / annealing planners")
+		seed         = flag.Int64("seed", 1, "seed for randomized planners")
+		outPath      = flag.String("out", "", "write the resulting stencil plan as JSON to this file")
+	)
+	flag.Parse()
+
+	in, err := loadInstance(*instancePath, *benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol, err := run(in, *algorithm, *seed, *timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vsbOnly := in.WritingTime(make([]bool, in.NumCharacters()))
+	fmt.Printf("instance      : %s (%s, %d characters, %d regions, stencil %dx%d)\n",
+		in.Name, in.Kind, in.NumCharacters(), in.NumRegions, in.StencilWidth, in.StencilHeight)
+	fmt.Printf("algorithm     : %s\n", sol.Algorithm)
+	fmt.Printf("characters on stencil: %d\n", sol.NumSelected())
+	fmt.Printf("writing time  : %d (pure VSB: %d, reduction %.1f%%)\n",
+		sol.WritingTime, vsbOnly, 100*(1-float64(sol.WritingTime)/float64(vsbOnly)))
+	fmt.Printf("region times  : %v\n", sol.RegionTimes)
+	fmt.Printf("runtime       : %s\n", sol.Runtime)
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(sol, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", *outPath)
+	}
+}
+
+func loadInstance(path, benchmark string) (*eblow.Instance, error) {
+	switch {
+	case path != "" && benchmark != "":
+		return nil, fmt.Errorf("use either -instance or -benchmark, not both")
+	case path != "":
+		return eblow.ReadInstance(path)
+	case benchmark != "":
+		return eblow.Benchmark(benchmark)
+	default:
+		return nil, fmt.Errorf("one of -instance or -benchmark is required")
+	}
+}
+
+func run(in *eblow.Instance, algorithm string, seed int64, timeout time.Duration) (*eblow.Solution, error) {
+	switch algorithm {
+	case "eblow":
+		if in.Kind == eblow.OneD {
+			sol, _, err := eblow.Solve1D(in, eblow.Defaults1D())
+			return sol, err
+		}
+		opt := eblow.Defaults2D()
+		opt.Seed = seed
+		opt.TimeLimit = timeout
+		sol, _, err := eblow.Solve2D(in, opt)
+		return sol, err
+	case "greedy":
+		if in.Kind == eblow.OneD {
+			return eblow.Greedy1D(in)
+		}
+		return eblow.Greedy2D(in)
+	case "heuristic24":
+		if in.Kind == eblow.OneD {
+			return eblow.Heuristic1D(in, seed)
+		}
+		return eblow.AnnealedBaseline2D(in, seed, timeout)
+	case "row25":
+		if in.Kind != eblow.OneD {
+			return nil, fmt.Errorf("row25 only applies to 1DOSP instances")
+		}
+		return eblow.RowHeuristic1D(in)
+	case "exact":
+		var res *eblow.ExactResult
+		var err error
+		if in.Kind == eblow.OneD {
+			res, err = eblow.Exact1D(in, timeout)
+		} else {
+			res, err = eblow.Exact2D(in, timeout)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if res.Solution == nil {
+			return nil, fmt.Errorf("exact ILP found no solution within %s (status %s)", timeout, res.Status)
+		}
+		if !res.Optimal {
+			fmt.Printf("note: ILP hit its limit; solution is feasible but not proven optimal\n")
+		}
+		return res.Solution, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+}

@@ -1,0 +1,82 @@
+// Command ospbench regenerates the tables and figures of the E-BLOW paper's
+// evaluation section on the synthetic benchmark suite.
+//
+// Examples:
+//
+//	ospbench -table 3
+//	ospbench -table 4 -sa-time 10s -eblow-time 5s
+//	ospbench -table 5 -exact-time 30s
+//	ospbench -figure 5
+//	ospbench -figure 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"eblow/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ospbench: ")
+
+	var (
+		table     = flag.Int("table", 0, "table to regenerate: 3, 4 or 5")
+		figure    = flag.Int("figure", 0, "figure to regenerate: 5, 6, 11 or 12")
+		cases     = flag.String("cases", "", "comma-separated case list (default: the paper's cases)")
+		seed      = flag.Int64("seed", 1, "seed for randomized planners")
+		saTime    = flag.Duration("sa-time", 20*time.Second, "time limit per case for the prior-work 2D annealer")
+		eblowTime = flag.Duration("eblow-time", 10*time.Second, "time limit per case for the E-BLOW 2D annealer")
+		exactTime = flag.Duration("exact-time", 20*time.Second, "time limit per case for the exact ILP (Table 5)")
+	)
+	flag.Parse()
+
+	cfg := report.Config{Seed: *seed, SATimeLimit: *saTime, EBlow2DTimeLimit: *eblowTime, ExactTimeLimit: *exactTime}
+
+	caseList := func(def []string) []string {
+		if *cases == "" {
+			return def
+		}
+		return strings.Split(*cases, ",")
+	}
+
+	switch {
+	case *table == 3:
+		rows, err := report.Table3(caseList(report.Table3Cases()), cfg)
+		fail(err)
+		fmt.Print(report.FormatRows("Table 3 (1DOSP): Greedy / [24] / [25] / E-BLOW", rows))
+	case *table == 4:
+		rows, err := report.Table4(caseList(report.Table4Cases()), cfg)
+		fail(err)
+		fmt.Print(report.FormatRows("Table 4 (2DOSP): Greedy / [24] / E-BLOW", rows))
+	case *table == 5:
+		rows, err := report.Table5(cfg)
+		fail(err)
+		fmt.Print(report.FormatRows("Table 5: exact ILP vs E-BLOW", rows))
+	case *figure == 5:
+		data, err := report.Fig5(caseList([]string{"1M-1", "1M-2", "1M-3", "1M-4"}))
+		fail(err)
+		fmt.Print(report.FormatFig5(data))
+	case *figure == 6:
+		names := caseList([]string{"1M-1"})
+		hist, err := report.Fig6(names[0])
+		fail(err)
+		fmt.Print(report.FormatFig6(names[0], hist))
+	case *figure == 11, *figure == 12:
+		rows, err := report.Ablation(caseList(report.Table3Cases()))
+		fail(err)
+		fmt.Print(report.FormatAblation(rows))
+	default:
+		log.Fatal("specify -table 3|4|5 or -figure 5|6|11|12")
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Command ospgen generates OSP benchmark instances as JSON files, either one
+// of the named synthetic benchmarks from the paper's evaluation or a custom
+// reduced-size instance.
+//
+// Examples:
+//
+//	ospgen -list
+//	ospgen -name 1M-5 -out 1m5.json
+//	ospgen -custom -kind 2d -chars 200 -regions 4 -seed 7 -out small.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"eblow"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ospgen: ")
+
+	var (
+		list    = flag.Bool("list", false, "list the named benchmarks and exit")
+		name    = flag.String("name", "", "named benchmark to generate (e.g. 1D-2, 2M-7)")
+		custom  = flag.Bool("custom", false, "generate a custom reduced-size instance instead of a named one")
+		kind    = flag.String("kind", "1d", "custom instance kind: 1d or 2d")
+		chars   = flag.Int("chars", 200, "custom instance character count")
+		regions = flag.Int("regions", 4, "custom instance region (CP) count")
+		seed    = flag.Int64("seed", 1, "custom instance seed")
+		out     = flag.String("out", "", "output JSON path (required unless -list)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range eblow.BenchmarkNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var in *eblow.Instance
+	var err error
+	switch {
+	case *custom:
+		k := eblow.OneD
+		if *kind == "2d" {
+			k = eblow.TwoD
+		}
+		in = eblow.SmallInstance(k, *chars, *regions, *seed)
+	case *name != "":
+		in, err = eblow.Benchmark(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("one of -list, -name or -custom is required")
+	}
+
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	if err := eblow.WriteInstance(*out, in); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s, %d characters, %d regions, stencil %dx%d\n",
+		*out, in.Kind, in.NumCharacters(), in.NumRegions, in.StencilWidth, in.StencilHeight)
+}

@@ -1,0 +1,178 @@
+// Package eblow is an open-source reproduction of "E-BLOW: E-Beam Lithography
+// Overlapping aware Stencil Planning for MCC System" (Yu, Yuan, Gao, Pan;
+// DAC 2013). It plans the stencil of a character-projection e-beam
+// lithography system: given character candidates with per-region repeat
+// counts and VSB shot counts, it selects a subset and places it on the
+// stencil (sharing blank margins between neighbours) so that the maximum
+// per-region writing time of the multi-column-cell system is minimized.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Solve1D runs the E-BLOW 1DOSP planner (successive LP rounding, fast ILP
+//     convergence, DP row refinement, post-swap/insertion).
+//   - Solve2D runs the E-BLOW 2DOSP planner (pre-filter, KD-tree clustering,
+//     sequence-pair simulated annealing).
+//   - Exact1D / Exact2D solve the full ILP formulations with branch and bound
+//     (only sensible for tiny instances).
+//   - Greedy1D, Heuristic1D, RowHeuristic1D, Greedy2D, AnnealedBaseline2D are
+//     the prior-work baselines the paper compares against.
+//   - Benchmark generates the named synthetic benchmark instances (1D-x,
+//     1M-x, 2D-x, 2M-x, 1T-x, 2T-x) with the parameters published in the
+//     paper.
+package eblow
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"eblow/internal/baseline"
+	"eblow/internal/core"
+	"eblow/internal/exact"
+	"eblow/internal/gen"
+	"eblow/internal/oned"
+	"eblow/internal/twod"
+)
+
+// Re-exported model types. See the internal/core package for full
+// documentation of every field.
+type (
+	// Instance is a complete OSP problem instance.
+	Instance = core.Instance
+	// Character is one character candidate.
+	Character = core.Character
+	// Solution is a stencil plan (selection plus placement).
+	Solution = core.Solution
+	// Placement locates one character on the stencil.
+	Placement = core.Placement
+	// Row is one stencil row of a 1D solution.
+	Row = core.Row
+	// Kind distinguishes 1DOSP from 2DOSP instances.
+	Kind = core.Kind
+)
+
+// Problem kinds.
+const (
+	OneD = core.OneD
+	TwoD = core.TwoD
+)
+
+// Options1D configures the E-BLOW 1D planner; the zero value uses the
+// paper's parameters.
+type Options1D = oned.Options
+
+// Options2D configures the E-BLOW 2D planner; the zero value uses the
+// paper's parameters.
+type Options2D = twod.Options
+
+// Trace1D exposes the successive-rounding iteration trace (Figs. 5 and 6 of
+// the paper).
+type Trace1D = oned.Trace
+
+// ClusterStats reports what the 2D clustering stage did.
+type ClusterStats = twod.Stats
+
+// ExactResult is the outcome of an exact ILP solve.
+type ExactResult = exact.Result
+
+// Defaults1D returns the paper's parameter settings for the 1D planner.
+func Defaults1D() Options1D { return oned.Defaults() }
+
+// Defaults2D returns the paper's parameter settings for the 2D planner.
+func Defaults2D() Options2D { return twod.Defaults() }
+
+// Solve1D plans the stencil of a 1DOSP instance with E-BLOW.
+func Solve1D(in *Instance, opt Options1D) (*Solution, *Trace1D, error) {
+	return oned.Solve(in, opt)
+}
+
+// Solve2D plans the stencil of a 2DOSP instance with E-BLOW.
+func Solve2D(in *Instance, opt Options2D) (*Solution, *ClusterStats, error) {
+	return twod.Solve(in, opt)
+}
+
+// Solve dispatches to Solve1D or Solve2D based on the instance kind, using
+// the default options.
+func Solve(in *Instance) (*Solution, error) {
+	switch in.Kind {
+	case core.OneD:
+		sol, _, err := Solve1D(in, Defaults1D())
+		return sol, err
+	case core.TwoD:
+		sol, _, err := Solve2D(in, Defaults2D())
+		return sol, err
+	default:
+		return nil, fmt.Errorf("eblow: unknown instance kind %v", in.Kind)
+	}
+}
+
+// Exact1D solves formulation (3) of the paper exactly with branch and bound.
+func Exact1D(in *Instance, timeLimit time.Duration) (*ExactResult, error) {
+	return exact.Solve1D(in, timeLimit)
+}
+
+// Exact2D solves formulation (7) of the paper exactly with branch and bound.
+func Exact2D(in *Instance, timeLimit time.Duration) (*ExactResult, error) {
+	return exact.Solve2D(in, timeLimit)
+}
+
+// Greedy1D is the greedy 1D baseline of the paper's Table 3.
+func Greedy1D(in *Instance) (*Solution, error) { return baseline.Greedy1D(in) }
+
+// Heuristic1D is the prior-work two-step 1D heuristic ([24] in the paper).
+func Heuristic1D(in *Instance, seed int64) (*Solution, error) {
+	return baseline.Heuristic1D(in, baseline.Heuristic1DOptions{Seed: seed})
+}
+
+// RowHeuristic1D is the deterministic row-structure 1D heuristic ([25] in
+// the paper).
+func RowHeuristic1D(in *Instance) (*Solution, error) { return baseline.RowHeuristic1D(in) }
+
+// Greedy2D is the greedy 2D baseline of the paper's Table 4.
+func Greedy2D(in *Instance) (*Solution, error) { return baseline.Greedy2D(in) }
+
+// AnnealedBaseline2D is the prior-work fixed-outline floorplanner ([24]).
+func AnnealedBaseline2D(in *Instance, seed int64, timeLimit time.Duration) (*Solution, error) {
+	return baseline.SA2D(in, baseline.SA2DOptions{Seed: seed, TimeLimit: timeLimit})
+}
+
+// Benchmark returns the named synthetic benchmark instance ("1D-1" .. "1D-4",
+// "1M-1" .. "1M-8", "2D-1" .. "2D-4", "2M-1" .. "2M-8", "1T-1" .. "1T-5",
+// "2T-1" .. "2T-4").
+func Benchmark(name string) (*Instance, error) { return gen.ByName(name) }
+
+// BenchmarkNames lists every named benchmark in the order the paper reports
+// them.
+func BenchmarkNames() []string { return gen.AllNames() }
+
+// SmallInstance generates a reduced-size instance with the same structure as
+// the benchmark families; useful for quick starts and tests.
+func SmallInstance(kind Kind, numChars, numRegions int, seed int64) *Instance {
+	return gen.Small(kind, numChars, numRegions, seed)
+}
+
+// WriteInstance saves an instance as JSON.
+func WriteInstance(path string, in *Instance) error {
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return fmt.Errorf("eblow: encoding instance: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadInstance loads an instance from JSON and validates it.
+func ReadInstance(path string) (*Instance, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("eblow: decoding %s: %w", path, err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}

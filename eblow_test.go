@@ -1,0 +1,101 @@
+package eblow
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSolveDispatch(t *testing.T) {
+	in1 := SmallInstance(OneD, 50, 3, 1)
+	sol, err := Solve(in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in1); err != nil {
+		t.Fatalf("1D solution invalid: %v", err)
+	}
+
+	in2 := SmallInstance(TwoD, 40, 2, 2)
+	sol2, err := Solve(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol2.Validate(in2); err != nil {
+		t.Fatalf("2D solution invalid: %v", err)
+	}
+}
+
+func TestFacadeBaselinesAndExact(t *testing.T) {
+	in := SmallInstance(OneD, 40, 2, 3)
+	if _, err := Greedy1D(in); err != nil {
+		t.Error(err)
+	}
+	if _, err := Heuristic1D(in, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := RowHeuristic1D(in); err != nil {
+		t.Error(err)
+	}
+	in2 := SmallInstance(TwoD, 30, 2, 4)
+	if _, err := Greedy2D(in2); err != nil {
+		t.Error(err)
+	}
+	if _, err := AnnealedBaseline2D(in2, 1, 2*time.Second); err != nil {
+		t.Error(err)
+	}
+
+	tiny, err := Benchmark("1T-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exact1D(tiny, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution == nil && res.Status.String() == "" {
+		t.Error("exact result carries no information")
+	}
+}
+
+func TestBenchmarkNamesResolve(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 33 {
+		t.Fatalf("expected 33 named benchmarks, got %d", len(names))
+	}
+	for _, name := range names[:4] {
+		if _, err := Benchmark(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Benchmark("bogus-1"); err == nil {
+		t.Error("bogus benchmark accepted")
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := SmallInstance(OneD, 20, 2, 5)
+	path := filepath.Join(t.TempDir(), "instance.json")
+	if err := WriteInstance(path, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != in.Name || back.NumCharacters() != in.NumCharacters() || back.Kind != in.Kind {
+		t.Error("round trip lost data")
+	}
+	if _, err := ReadInstance(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDefaultsExposed(t *testing.T) {
+	if Defaults1D().Thinv != 0.9 {
+		t.Error("1D defaults not exposed")
+	}
+	if Defaults2D().SimilarityBound != 0.2 {
+		t.Error("2D defaults not exposed")
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: generate a small 1DOSP instance, plan its stencil with E-BLOW
+// and print what ended up on the stencil.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eblow"
+)
+
+func main() {
+	// A small MCC system: 120 character candidates, 4 character projections
+	// sharing one stencil.
+	in := eblow.SmallInstance(eblow.OneD, 120, 4, 42)
+
+	sol, trace, err := eblow.Solve1D(in, eblow.Defaults1D())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		log.Fatalf("planner produced an invalid stencil: %v", err)
+	}
+
+	vsbOnly := in.WritingTime(make([]bool, in.NumCharacters()))
+	fmt.Printf("candidates        : %d\n", in.NumCharacters())
+	fmt.Printf("on stencil        : %d\n", sol.NumSelected())
+	fmt.Printf("writing time      : %d (pure VSB would be %d)\n", sol.WritingTime, vsbOnly)
+	fmt.Printf("per-region times  : %v\n", sol.RegionTimes)
+	fmt.Printf("rounding iterations: %d\n", len(trace.UnsolvedPerIteration))
+	fmt.Printf("planner runtime   : %s\n", sol.Runtime)
+
+	// Show the first stencil row.
+	if len(sol.Rows) > 0 {
+		row := sol.Rows[0]
+		fmt.Printf("row 0 (y=%d) holds %d characters, packed width %d of %d\n",
+			row.Y, len(row.Chars), row.Width(in), in.StencilWidth)
+	}
+}

@@ -1,0 +1,128 @@
+// Package anneal provides a small, generic simulated-annealing engine. The
+// 2DOSP planner of E-BLOW plugs a sequence-pair floorplanning state into it;
+// the baseline planner (the prior-work flow the paper compares against) uses
+// the same engine without the clustering front end, so that the measured
+// difference between the two is the algorithmic contribution and not the
+// annealer.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// State is a mutable optimization state. Perturb applies a random move and
+// returns an undo function; Cost evaluates the current state; Snapshot and
+// Restore save and reinstate the best state found.
+type State interface {
+	Cost() float64
+	Perturb(rng *rand.Rand) (undo func())
+	Snapshot() interface{}
+	Restore(snapshot interface{})
+}
+
+// Options configures a run.
+type Options struct {
+	// InitialTemp is the starting temperature. If zero it is estimated from
+	// the cost of the initial state.
+	InitialTemp float64
+	// FinalTemp stops the schedule (default 1e-3 of the initial temperature).
+	FinalTemp float64
+	// Cooling is the geometric cooling factor in (0,1); default 0.93.
+	Cooling float64
+	// MovesPerTemp is the number of proposed moves per temperature step;
+	// default 60.
+	MovesPerTemp int
+	// Seed seeds the internal random generator.
+	Seed int64
+	// TimeLimit bounds the wall-clock time (0 = no limit).
+	TimeLimit time.Duration
+	// Reheats is the number of times the schedule restarts from a fraction
+	// of the initial temperature after finishing; default 0.
+	Reheats int
+}
+
+func (o Options) withDefaults(initialCost float64) Options {
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.93
+	}
+	if o.MovesPerTemp <= 0 {
+		o.MovesPerTemp = 60
+	}
+	if o.InitialTemp <= 0 {
+		o.InitialTemp = math.Max(1, math.Abs(initialCost)*0.3)
+	}
+	if o.FinalTemp <= 0 {
+		o.FinalTemp = o.InitialTemp * 1e-3
+	}
+	return o
+}
+
+// Result summarises a run.
+type Result struct {
+	BestCost    float64
+	InitialCost float64
+	Moves       int
+	Accepted    int
+	Elapsed     time.Duration
+}
+
+// Minimize runs simulated annealing on the state and leaves it restored to
+// the best configuration found.
+func Minimize(s State, opt Options) Result {
+	start := time.Now()
+	initial := s.Cost()
+	opt = opt.withDefaults(initial)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	res := Result{BestCost: initial, InitialCost: initial}
+	best := s.Snapshot()
+	cur := initial
+
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+
+	runSchedule := func(startTemp float64) {
+		temp := startTemp
+		for temp > opt.FinalTemp {
+			for i := 0; i < opt.MovesPerTemp; i++ {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				undo := s.Perturb(rng)
+				next := s.Cost()
+				res.Moves++
+				delta := next - cur
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+					cur = next
+					res.Accepted++
+					if cur < res.BestCost {
+						res.BestCost = cur
+						best = s.Snapshot()
+					}
+				} else {
+					undo()
+				}
+			}
+			temp *= opt.Cooling
+		}
+	}
+
+	runSchedule(opt.InitialTemp)
+	for r := 0; r < opt.Reheats; r++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		// Restart from the best state at a reduced temperature.
+		s.Restore(best)
+		cur = res.BestCost
+		runSchedule(opt.InitialTemp * 0.3)
+	}
+
+	s.Restore(best)
+	res.Elapsed = time.Since(start)
+	return res
+}

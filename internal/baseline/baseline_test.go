@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"testing"
+
+	"eblow/internal/core"
+	"eblow/internal/gen"
+)
+
+func TestGreedy1D(t *testing.T) {
+	in := gen.Small(core.OneD, 80, 4, 17)
+	sol, err := Greedy1D(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	if sol.NumSelected() == 0 {
+		t.Error("greedy selected nothing")
+	}
+	if sol.Algorithm != "Greedy-1D" {
+		t.Errorf("algorithm %q", sol.Algorithm)
+	}
+	empty := in.WritingTime(make([]bool, in.NumCharacters()))
+	if sol.WritingTime >= empty {
+		t.Errorf("greedy did not improve over VSB-only: %d >= %d", sol.WritingTime, empty)
+	}
+}
+
+func TestRowHeuristic1D(t *testing.T) {
+	in := gen.Small(core.OneD, 80, 4, 23)
+	sol, err := RowHeuristic1D(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	if sol.NumSelected() == 0 {
+		t.Error("row heuristic selected nothing")
+	}
+}
+
+func TestHeuristic1D(t *testing.T) {
+	in := gen.Small(core.OneD, 80, 4, 29)
+	sol, err := Heuristic1D(in, Heuristic1DOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	if sol.NumSelected() == 0 {
+		t.Error("heuristic selected nothing")
+	}
+	greedy, err := Greedy1D(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-step heuristic with improvement should not be worse than the
+	// plain greedy by a large margin (it usually beats it).
+	if float64(sol.WritingTime) > 1.3*float64(greedy.WritingTime) {
+		t.Errorf("heuristic %d much worse than greedy %d", sol.WritingTime, greedy.WritingTime)
+	}
+}
+
+func TestHeuristic1DDeterministicSeed(t *testing.T) {
+	in := gen.Small(core.OneD, 60, 3, 31)
+	a, err := Heuristic1D(in, Heuristic1DOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Heuristic1D(in, Heuristic1DOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WritingTime != b.WritingTime || a.NumSelected() != b.NumSelected() {
+		t.Error("same seed should give identical results")
+	}
+}
+
+func Test1DBaselinesRejectBadInput(t *testing.T) {
+	in2d := gen.Small(core.TwoD, 20, 1, 3)
+	if _, err := Greedy1D(in2d); err == nil {
+		t.Error("Greedy1D should reject 2D instances")
+	}
+	if _, err := RowHeuristic1D(in2d); err == nil {
+		t.Error("RowHeuristic1D should reject 2D instances")
+	}
+	if _, err := Heuristic1D(in2d, Heuristic1DOptions{}); err == nil {
+		t.Error("Heuristic1D should reject 2D instances")
+	}
+	if _, err := Greedy1D(&core.Instance{}); err == nil {
+		t.Error("empty instance should be rejected")
+	}
+}
+
+func TestGreedy2D(t *testing.T) {
+	in := gen.Small(core.TwoD, 60, 2, 41)
+	sol, err := Greedy2D(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	if sol.NumSelected() == 0 {
+		t.Error("2D greedy selected nothing")
+	}
+}
+
+func TestSA2D(t *testing.T) {
+	in := gen.Small(core.TwoD, 40, 2, 43)
+	sol, err := SA2D(in, SA2DOptions{Seed: 1, MoveBudget: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	if sol.NumSelected() == 0 {
+		t.Error("SA floorplanner selected nothing")
+	}
+	if sol.Algorithm != "SA-2D[24]" {
+		t.Errorf("algorithm %q", sol.Algorithm)
+	}
+}
+
+func Test2DBaselinesRejectBadInput(t *testing.T) {
+	in1d := gen.Small(core.OneD, 20, 1, 3)
+	if _, err := Greedy2D(in1d); err == nil {
+		t.Error("Greedy2D should reject 1D instances")
+	}
+	if _, err := SA2D(in1d, SA2DOptions{}); err == nil {
+		t.Error("SA2D should reject 1D instances")
+	}
+}
+
+func TestOrderRowByBlank(t *testing.T) {
+	in := &core.Instance{
+		Kind: core.OneD, StencilWidth: 1000, StencilHeight: 40, NumRegions: 1, RowHeight: 40,
+		Characters: []core.Character{
+			{ID: 0, Width: 40, Height: 40, BlankLeft: 2, BlankRight: 2, VSBShots: 2, Repeats: []int64{1}},
+			{ID: 1, Width: 40, Height: 40, BlankLeft: 9, BlankRight: 9, VSBShots: 2, Repeats: []int64{1}},
+			{ID: 2, Width: 40, Height: 40, BlankLeft: 5, BlankRight: 5, VSBShots: 2, Repeats: []int64{1}},
+		},
+	}
+	order := orderRowByBlank(in, []int{0, 1, 2})
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// With symmetric blanks the greedy two-choice ordering achieves the
+	// Lemma 1 optimum.
+	if got, want := core.MinRowLength(in, order), core.SymmetricRowLength([]int{40, 40, 40}, []int{2, 9, 5}); got != want {
+		t.Errorf("ordered width = %d, want %d", got, want)
+	}
+	if orderRowByBlank(in, nil) != nil {
+		t.Error("empty row should stay empty")
+	}
+}
+
+func TestLegalizeRows(t *testing.T) {
+	in := &core.Instance{
+		Kind: core.OneD, StencilWidth: 100, StencilHeight: 40, NumRegions: 1, RowHeight: 40,
+		Characters: []core.Character{
+			{ID: 0, Width: 60, Height: 40, VSBShots: 10, Repeats: []int64{5}},
+			{ID: 1, Width: 60, Height: 40, VSBShots: 2, Repeats: []int64{1}},
+		},
+	}
+	rows := legalizeRows(in, [][]int{{0, 1}})
+	if len(rows[0]) != 1 {
+		t.Fatalf("legalized row = %v, want one character", rows[0])
+	}
+	// The lower-profit character (id 1) must be the one evicted.
+	if rows[0][0] != 0 {
+		t.Errorf("kept character %d, want 0", rows[0][0])
+	}
+}
+
+func TestStaticOrder(t *testing.T) {
+	in := gen.Small(core.OneD, 30, 2, 51)
+	byProfit := staticOrder(in, false)
+	profits := in.StaticProfits()
+	for k := 1; k < len(byProfit); k++ {
+		if profits[byProfit[k]] > profits[byProfit[k-1]] {
+			t.Fatal("staticOrder(profit) not sorted")
+		}
+	}
+	byDensity := staticOrder(in, true)
+	if len(byDensity) != in.NumCharacters() {
+		t.Fatal("density order wrong length")
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	if sumInt64([]int64{1, 2, 3}) != 6 || sumInt64(nil) != 0 {
+		t.Error("sumInt64")
+	}
+}

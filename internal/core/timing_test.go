@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVSBTimeAndRegionTimes(t *testing.T) {
+	in := tinyInstance()
+	vsb := in.VSBTime()
+	// Region 0: 3*10 + 2*5 + 0*20 = 40; region 1: 1*10 + 4*5 + 5*20 = 130.
+	if vsb[0] != 40 || vsb[1] != 130 {
+		t.Fatalf("VSBTime = %v, want [40 130]", vsb)
+	}
+
+	none := make([]bool, 3)
+	rt := in.RegionTimes(none)
+	if rt[0] != 40 || rt[1] != 130 {
+		t.Errorf("RegionTimes with empty selection = %v, want VSB times", rt)
+	}
+	if in.WritingTime(none) != 130 {
+		t.Errorf("WritingTime empty = %d, want 130", in.WritingTime(none))
+	}
+
+	// Select character 2 (only appears in region 1, saving 5*(20-1)=95).
+	sel := []bool{false, false, true}
+	rt = in.RegionTimes(sel)
+	if rt[0] != 40 || rt[1] != 35 {
+		t.Errorf("RegionTimes = %v, want [40 35]", rt)
+	}
+	if in.WritingTime(sel) != 40 {
+		t.Errorf("WritingTime = %d, want 40", in.WritingTime(sel))
+	}
+
+	all := []bool{true, true, true}
+	rt = in.RegionTimes(all)
+	// Region 0: 40 - 3*9 - 2*4 - 0 = 5; region 1: 130 - 1*9 - 4*4 - 5*19 = 10.
+	if rt[0] != 5 || rt[1] != 10 {
+		t.Errorf("RegionTimes all = %v, want [5 10]", rt)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	in := tinyInstance()
+	if got := in.Reduction(0, 0); got != 27 {
+		t.Errorf("Reduction(0,0) = %d, want 3*(10-1)=27", got)
+	}
+	if got := in.Reduction(2, 0); got != 0 {
+		t.Errorf("Reduction(2,0) = %d, want 0", got)
+	}
+	if got := in.Reduction(2, 1); got != 95 {
+		t.Errorf("Reduction(2,1) = %d, want 95", got)
+	}
+}
+
+func TestProfits(t *testing.T) {
+	in := tinyInstance()
+	rt := in.RegionTimes(make([]bool, 3))
+	p := in.Profits(rt)
+	// tmax = 130; weights: region0 40/130, region1 1.
+	want0 := float64(40)/130*27 + 1*9
+	want1 := float64(40)/130*8 + 1*16
+	want2 := 0.0 + 1*95
+	if !almostEqual(p[0], want0) || !almostEqual(p[1], want1) || !almostEqual(p[2], want2) {
+		t.Errorf("Profits = %v, want [%v %v %v]", p, want0, want1, want2)
+	}
+
+	// Character 2 helps only the slow region, so it must have the largest
+	// profit; that is the whole point of the dynamic weighting.
+	if !(p[2] > p[0] && p[2] > p[1]) {
+		t.Errorf("expected character 2 to dominate profits, got %v", p)
+	}
+
+	zero := in.Profits([]int64{0, 0})
+	for i, v := range zero {
+		if v != 0 {
+			t.Errorf("Profits with zero times: entry %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestStaticProfits(t *testing.T) {
+	in := tinyInstance()
+	p := in.StaticProfits()
+	want := []float64{27 + 9, 8 + 16, 95}
+	for i := range want {
+		if !almostEqual(p[i], want[i]) {
+			t.Errorf("StaticProfits[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	if MaxInt64(nil) != 0 {
+		t.Error("MaxInt64(nil) should be 0")
+	}
+	if MaxInt64([]int64{-5, -2, -9}) != -2 {
+		t.Error("MaxInt64 of negatives")
+	}
+	if MaxInt64([]int64{1, 7, 3}) != 7 {
+		t.Error("MaxInt64 of positives")
+	}
+}
+
+// Property: selecting any additional character never increases any region
+// time, hence never increases the writing time (monotonicity of Eqn. 1).
+func TestWritingTimeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 8, 3)
+		sel := make([]bool, len(in.Characters))
+		for i := range sel {
+			sel[i] = rng.Intn(2) == 0
+		}
+		base := in.WritingTime(sel)
+		idx := rng.Intn(len(sel))
+		if sel[idx] {
+			return true
+		}
+		sel[idx] = true
+		return in.WritingTime(sel) <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: writing time equals max of region times and region times are
+// consistent with per-character reductions.
+func TestRegionTimeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 6, 4)
+		sel := make([]bool, len(in.Characters))
+		for i := range sel {
+			sel[i] = rng.Intn(2) == 0
+		}
+		rt := in.RegionTimes(sel)
+		vsb := in.VSBTime()
+		for c := 0; c < in.NumRegions; c++ {
+			expect := vsb[c]
+			for i, s := range sel {
+				if s {
+					expect -= in.Reduction(i, c)
+				}
+			}
+			if expect != rt[c] {
+				return false
+			}
+		}
+		return in.WritingTime(sel) == MaxInt64(rt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomInstance builds a random but structurally valid 1D instance for
+// property tests inside the core package.
+func randomInstance(rng *rand.Rand, n, regions int) *Instance {
+	in := &Instance{
+		Name:          "rand",
+		Kind:          OneD,
+		StencilWidth:  200,
+		StencilHeight: 80,
+		NumRegions:    regions,
+		RowHeight:     40,
+	}
+	for i := 0; i < n; i++ {
+		c := Character{
+			ID:         i,
+			Width:      20 + rng.Intn(30),
+			Height:     40,
+			BlankLeft:  rng.Intn(8),
+			BlankRight: rng.Intn(8),
+			VSBShots:   1 + rng.Intn(30),
+			Repeats:    make([]int64, regions),
+		}
+		for r := range c.Repeats {
+			c.Repeats[r] = int64(rng.Intn(20))
+		}
+		in.Characters = append(in.Characters, c)
+	}
+	return in
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,281 @@
+// Package floorsa implements fixed-outline floorplanning of OSP blocks with
+// simulated annealing over the sequence-pair representation. A block is
+// either a single character (the prior-work flow of the paper, used as the
+// 2D baseline) or a cluster of characters (the E-BLOW flow, which runs the
+// same engine on the clustered instance). The cost of a floorplan is the MCC
+// writing time computed from the blocks that land inside the stencil
+// outline, so selection and placement are optimized together exactly as in
+// the fixed-outline formulation of the prior work.
+package floorsa
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"eblow/internal/anneal"
+	"eblow/internal/core"
+	"eblow/internal/pack2d"
+	"eblow/internal/seqpair"
+)
+
+// Block is one unit to place: geometry with blanks plus the per-region
+// writing-time reduction obtained when the block is on the stencil.
+type Block struct {
+	pack2d.Block
+	Reductions []int64
+}
+
+// Options configures the annealing run.
+type Options struct {
+	// MoveBudget is the total number of proposed moves. If zero a budget of
+	// 40*n^1.15 (bounded to [2000, 60000]) is used.
+	MoveBudget int
+	// Seed seeds the annealer and the initial sequence pair.
+	Seed int64
+	// TimeLimit bounds the wall-clock time of the annealing run.
+	TimeLimit time.Duration
+	// SumObjective switches the annealing cost from the MCC objective
+	// (maximum region writing time) to the total writing time over all
+	// regions. The prior-work baseline of the paper uses the sum; E-BLOW
+	// uses the maximum.
+	SumObjective bool
+	// RandomInitial starts the annealer from a random sequence pair instead
+	// of the default shelf-packed initial floorplan built from the block
+	// order (most profitable blocks first).
+	RandomInitial bool
+	// SkipAnneal evaluates only the shelf initial floorplan (no annealing).
+	// Used by the planner as a fast fallback evaluation.
+	SkipAnneal bool
+}
+
+// Result is the outcome of a packing run.
+type Result struct {
+	// Inside reports, per block, whether it ended up fully inside the
+	// outline in the final exact (legalised) packing.
+	Inside []bool
+	// X, Y are the exact legal positions of the blocks (meaningful for
+	// blocks with Inside=true).
+	X, Y []int
+	// WritingTime is the MCC writing time of the final selection.
+	WritingTime int64
+	// Moves and Accepted report annealer statistics.
+	Moves, Accepted int
+}
+
+// state is the annealing state: a sequence pair over the blocks.
+type state struct {
+	sp     *seqpair.SeqPair
+	blocks []pack2d.Block
+	reds   [][]int64
+	vsb    []int64
+	w, h   int
+	useSum bool
+}
+
+func (s *state) Cost() float64 {
+	pl := pack2d.PackApprox(s.sp, s.blocks)
+	inside := pack2d.InsideOutline(pl, s.blocks, s.w, s.h)
+	if s.useSum {
+		return float64(totalTime(s.vsb, s.reds, inside))
+	}
+	return float64(writingTime(s.vsb, s.reds, inside))
+}
+
+func (s *state) Perturb(rng *rand.Rand) func() {
+	n := s.sp.Len()
+	if n < 2 {
+		return func() {}
+	}
+	i, j := rng.Intn(n), rng.Intn(n)
+	for j == i {
+		j = rng.Intn(n)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		s.sp.SwapPos(i, j)
+		return func() { s.sp.SwapPos(i, j) }
+	case 1:
+		s.sp.SwapNeg(i, j)
+		return func() { s.sp.SwapNeg(i, j) }
+	default:
+		a, b := s.sp.Pos[i], s.sp.Pos[j]
+		s.sp.SwapBoth(a, b)
+		return func() { s.sp.SwapBoth(a, b) }
+	}
+}
+
+func (s *state) Snapshot() interface{} { return s.sp.Clone() }
+
+func (s *state) Restore(v interface{}) { s.sp = v.(*seqpair.SeqPair).Clone() }
+
+func regionTimes(vsb []int64, reds [][]int64, inside []bool) []int64 {
+	times := append([]int64(nil), vsb...)
+	for i, in := range inside {
+		if !in {
+			continue
+		}
+		for c, r := range reds[i] {
+			times[c] -= r
+		}
+	}
+	return times
+}
+
+func writingTime(vsb []int64, reds [][]int64, inside []bool) int64 {
+	return core.MaxInt64(regionTimes(vsb, reds, inside))
+}
+
+func totalTime(vsb []int64, reds [][]int64, inside []bool) int64 {
+	var s int64
+	for _, t := range regionTimes(vsb, reds, inside) {
+		s += t
+	}
+	return s
+}
+
+// Pack places the blocks on a W x H stencil minimizing the MCC writing time
+// computed against the per-region pure-VSB times vsb.
+func Pack(blocks []Block, vsb []int64, w, h int, opt Options) *Result {
+	n := len(blocks)
+	res := &Result{
+		Inside: make([]bool, n),
+		X:      make([]int, n),
+		Y:      make([]int, n),
+	}
+	if n == 0 {
+		res.WritingTime = core.MaxInt64(vsb)
+		return res
+	}
+
+	raw := make([]pack2d.Block, n)
+	reds := make([][]int64, n)
+	for i, b := range blocks {
+		raw[i] = b.Block
+		reds[i] = b.Reductions
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	// Shelf-pack the blocks in decreasing order of writing-time reduction
+	// per unit area for the initial floorplan, so the annealer starts from a
+	// selection at least as good as a profit-density greedy packing. Density
+	// rather than absolute reduction keeps multi-character cluster blocks
+	// from outranking individually better characters just because they are
+	// bigger.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	density := func(i int) float64 {
+		var t int64
+		for _, r := range reds[i] {
+			t += r
+		}
+		area := raw[i].W * raw[i].H
+		if area <= 0 {
+			area = 1
+		}
+		return float64(t) / float64(area)
+	}
+	sort.Slice(order, func(a, b int) bool { return density(order[a]) > density(order[b]) })
+	initial := shelfInitial(raw, order, w)
+	if opt.RandomInitial {
+		initial = seqpair.Random(n, rng)
+	}
+	st := &state{sp: initial.Clone(), blocks: raw, reds: reds, vsb: vsb, w: w, h: h, useSum: opt.SumObjective}
+
+	budget := opt.MoveBudget
+	if budget <= 0 {
+		budget = defaultBudget(n)
+	}
+	movesPerTemp := budget / 80
+	if movesPerTemp < 10 {
+		movesPerTemp = 10
+	}
+	// Temperatures are scaled to typical per-move cost deltas (a small
+	// fraction of the total writing time), not to the absolute cost.
+	initialTemp := st.Cost() * 0.01
+	if initialTemp < 50 {
+		initialTemp = 50
+	}
+	if !opt.SkipAnneal {
+		ar := anneal.Minimize(st, anneal.Options{
+			Seed:         opt.Seed + 1,
+			InitialTemp:  initialTemp,
+			FinalTemp:    initialTemp * 2e-3,
+			MovesPerTemp: movesPerTemp,
+			Cooling:      0.93,
+			TimeLimit:    opt.TimeLimit,
+		})
+		res.Moves, res.Accepted = ar.Moves, ar.Accepted
+	}
+
+	// Legalise the best floorplan with the exact pairwise blank sharing and
+	// recompute the selection from it. If the annealed floorplan turns out
+	// worse than the initial shelf floorplan under the exact evaluation
+	// (the annealing cost uses the approximate packing), keep the initial.
+	pick := func(sp *seqpair.SeqPair) ([]bool, *pack2d.Placement, int64) {
+		exact := pack2d.PackExact(sp, raw)
+		inside := pack2d.InsideOutline(exact, raw, w, h)
+		return inside, exact, writingTime(vsb, reds, inside)
+	}
+	inside, exact, wt := pick(st.sp)
+	if !opt.RandomInitial {
+		if insideInit, exactInit, wtInit := pick(initial); wtInit < wt {
+			inside, exact, wt = insideInit, exactInit, wtInit
+		}
+	}
+	copy(res.Inside, inside)
+	copy(res.X, exact.X)
+	copy(res.Y, exact.Y)
+	res.WritingTime = wt
+	return res
+}
+
+// shelfInitial builds a sequence pair that realises a shelf (row-by-row)
+// layout of the blocks in their given order: blocks fill a shelf left to
+// right until the stencil width is exceeded, then a new shelf starts above.
+// Starting the annealer from this floorplan rather than a random permutation
+// means it never does worse than a profit-ordered shelf packing.
+func shelfInitial(blocks []pack2d.Block, order []int, stencilW int) *seqpair.SeqPair {
+	n := len(blocks)
+	var shelves [][]int
+	var cur []int
+	width := 0
+	for _, i := range order {
+		w := blocks[i].W
+		if width > 0 && width+w > stencilW {
+			shelves = append(shelves, cur)
+			cur, width = nil, 0
+		}
+		cur = append(cur, i)
+		width += w
+	}
+	if len(cur) > 0 {
+		shelves = append(shelves, cur)
+	}
+	sp := &seqpair.SeqPair{Pos: make([]int, 0, n), Neg: make([]int, 0, n)}
+	// Gamma+: shelves from top to bottom; Gamma-: shelves from bottom to
+	// top; both left to right inside a shelf. A block on a lower shelf then
+	// follows in Gamma+ and precedes in Gamma-, i.e. it is "below".
+	for s := len(shelves) - 1; s >= 0; s-- {
+		sp.Pos = append(sp.Pos, shelves[s]...)
+	}
+	for s := 0; s < len(shelves); s++ {
+		sp.Neg = append(sp.Neg, shelves[s]...)
+	}
+	return sp
+}
+
+// defaultBudget scales the move budget sub-linearly with the block count so
+// large MCC instances stay tractable.
+func defaultBudget(n int) int {
+	b := 40 * n
+	if b < 2000 {
+		b = 2000
+	}
+	if b > 60000 {
+		b = 60000
+	}
+	return b
+}

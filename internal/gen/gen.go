@@ -1,0 +1,417 @@
+// Package gen generates synthetic OSP benchmark instances. The published
+// E-BLOW benchmark suite (1D-x, 2D-x from the prior work plus the MCC
+// families 1M-x and 2M-x) is not publicly available, so this package
+// reproduces its published parameters: candidate counts of 1000 and 4000,
+// stencil outlines of 1000x1000 um and 2000x2000 um, character projection
+// (region) counts of 1 and 10, character dimensions around 40 um with blank
+// margins of a few micrometres, and skewed per-region repeat counts.
+// Instances are generated deterministically from their name, so every run of
+// the benchmark harness sees the same workload.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"eblow/internal/core"
+)
+
+// Params controls instance generation.
+type Params struct {
+	Name       string
+	Kind       core.Kind
+	NumChars   int
+	NumRegions int
+
+	StencilW, StencilH int
+	RowHeight          int // 1D only; ignored for 2D
+
+	// Character bounding-box widths are drawn uniformly from
+	// [MinWidth, MaxWidth]; heights likewise for 2D instances.
+	MinWidth, MaxWidth   int
+	MinHeight, MaxHeight int
+
+	// Blank margins are drawn uniformly from [MinBlank, MaxBlank] per side.
+	MinBlank, MaxBlank int
+
+	// VSB shot counts are drawn uniformly from [MinShots, MaxShots] when
+	// ShotAreaUnit is zero. When ShotAreaUnit is positive, the shot count of
+	// a character is proportional to its pattern area (one shot per
+	// ShotAreaUnit square units, +-30% noise, clamped to [MinShots,
+	// MaxShots]): complex characters are both larger and more expensive to
+	// write with VSB, which is the physically realistic coupling.
+	MinShots, MaxShots int
+	ShotAreaUnit       int
+
+	// MaxRepeat bounds the per-region repeat count. Repeat counts follow a
+	// skewed distribution: a small set of characters repeats often, the
+	// long tail rarely, mirroring cell usage statistics in real designs.
+	MaxRepeat int
+
+	// RegionSkew in [0,1] controls how unevenly a character's repeats are
+	// distributed over regions; 0 spreads them evenly, 1 concentrates them
+	// in a few regions (creating the load imbalance MCC planning must fix).
+	RegionSkew float64
+
+	Seed int64
+}
+
+// Generate builds an instance from the parameters.
+func Generate(p Params) *core.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &core.Instance{
+		Name:          p.Name,
+		Kind:          p.Kind,
+		StencilWidth:  p.StencilW,
+		StencilHeight: p.StencilH,
+		NumRegions:    p.NumRegions,
+		RowHeight:     p.RowHeight,
+	}
+	for i := 0; i < p.NumChars; i++ {
+		var c core.Character
+		c.ID = i
+		c.Name = fmt.Sprintf("%s-c%d", p.Name, i)
+		c.Width = randBetween(rng, p.MinWidth, p.MaxWidth)
+		if p.Kind == core.OneD {
+			c.Height = p.RowHeight
+		} else {
+			c.Height = randBetween(rng, p.MinHeight, p.MaxHeight)
+		}
+
+		// Blank margins are drawn per character and are nearly symmetric
+		// (left and right differ by at most 2 um): stencil characters reserve
+		// the same clearance on both sides of the pattern, with only small
+		// asymmetries from the enclosed geometry. This also matches the
+		// regime in which the paper's symmetric-blank simplification is a
+		// good approximation.
+		maxHB := min(p.MaxBlank, (c.Width-1)/2)
+		minHB := min(p.MinBlank, maxHB)
+		hb := randBetween(rng, minHB, maxHB)
+		c.BlankLeft = hb
+		c.BlankRight = clampBlank(hb+rng.Intn(5)-2, minHB, maxHB)
+		if p.Kind == core.TwoD {
+			maxVB := min(p.MaxBlank, (c.Height-1)/2)
+			minVB := min(p.MinBlank, maxVB)
+			vb := randBetween(rng, minVB, maxVB)
+			c.BlankBottom = vb
+			c.BlankTop = clampBlank(vb+rng.Intn(5)-2, minVB, maxVB)
+		}
+
+		if p.ShotAreaUnit > 0 {
+			area := c.PatternWidth() * c.PatternHeight()
+			noise := 0.7 + 0.6*rng.Float64()
+			shots := int(float64(area) / float64(p.ShotAreaUnit) * noise)
+			if shots < p.MinShots {
+				shots = p.MinShots
+			}
+			if p.MaxShots > 0 && shots > p.MaxShots {
+				shots = p.MaxShots
+			}
+			c.VSBShots = shots
+		} else {
+			c.VSBShots = randBetween(rng, p.MinShots, p.MaxShots)
+		}
+		c.Repeats = repeats(rng, p)
+		in.Characters = append(in.Characters, c)
+	}
+	return in
+}
+
+func randBetween(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+func clampBlank(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// repeats draws a skewed total repeat count and distributes it over regions.
+func repeats(rng *rand.Rand, p Params) []int64 {
+	out := make([]int64, p.NumRegions)
+	// Skewed total: squaring a uniform variable biases towards small counts
+	// while keeping a heavy-usage head, similar to standard-cell usage.
+	u := rng.Float64()
+	total := int64(float64(p.MaxRepeat) * u * u * float64(p.NumRegions))
+	if total <= 0 {
+		total = int64(rng.Intn(3)) // a few characters barely repeat at all
+	}
+	if p.NumRegions == 1 {
+		out[0] = total
+		return out
+	}
+	// With a high RegionSkew a character appears in only a few regions (its
+	// cell is used by a few dies), which is what makes per-region balancing
+	// matter in MCC planning; with zero skew the repeats spread evenly over
+	// all regions.
+	active := p.NumRegions
+	if p.RegionSkew > 0 {
+		maxActive := int(float64(p.NumRegions)*(1-p.RegionSkew)) + 1
+		if maxActive < 1 {
+			maxActive = 1
+		}
+		if maxActive > p.NumRegions {
+			maxActive = p.NumRegions
+		}
+		active = 1 + rng.Intn(maxActive+1)
+		if active > p.NumRegions {
+			active = p.NumRegions
+		}
+	}
+	regions := rng.Perm(p.NumRegions)[:active]
+	weights := make([]float64, active)
+	sum := 0.0
+	for r := range weights {
+		w := 0.2 + rng.ExpFloat64()
+		weights[r] = w
+		sum += w
+	}
+	var assigned int64
+	for k, r := range regions {
+		out[r] = int64(float64(total) * weights[k] / sum)
+		assigned += out[r]
+	}
+	// Give the remainder to one of the active regions.
+	out[regions[rng.Intn(active)]] += total - assigned
+	return out
+}
+
+// family index tables. The case index (1-based) controls how much stencil
+// pressure the instance has: later cases use wider characters, so fewer of
+// them fit, matching the trend of the published tables where 1D-1 places
+// ~940 of 1000 characters and 1D-4 only ~700.
+
+func widthRange(index int) (int, int) {
+	base := 24 + 3*index // index 1 -> [28,44], index 4 -> [37,53]
+	return base + 1, base + 17
+}
+
+// Family1D returns benchmark 1D-i (i in 1..4): 1000 candidates, single CP,
+// 1000x1000 stencil, row height 40.
+func Family1D(i int) *core.Instance {
+	lo, hi := widthRange(i)
+	return Generate(Params{
+		Name: fmt.Sprintf("1D-%d", i), Kind: core.OneD,
+		NumChars: 1000, NumRegions: 1,
+		StencilW: 1000, StencilH: 1000, RowHeight: 40,
+		MinWidth: lo, MaxWidth: hi,
+		MinBlank: 4, MaxBlank: 14,
+		MinShots: 2, MaxShots: 60, ShotAreaUnit: 45,
+		MaxRepeat: 60, RegionSkew: 0,
+		Seed: int64(1000 + i),
+	})
+}
+
+// Family1M returns MCC benchmark 1M-i (i in 1..8): 10 CPs; cases 1-4 have
+// 1000 candidates on a 1000x1000 stencil, cases 5-8 have 4000 candidates on
+// a 2000x2000 stencil.
+func Family1M(i int) *core.Instance {
+	small := i <= 4
+	idx := i
+	if !small {
+		idx = i - 4
+	}
+	lo, hi := widthRange(idx)
+	p := Params{
+		Name: fmt.Sprintf("1M-%d", i), Kind: core.OneD,
+		NumRegions: 10,
+		MinWidth:   lo, MaxWidth: hi,
+		MinBlank: 4, MaxBlank: 14,
+		MinShots: 2, MaxShots: 60, ShotAreaUnit: 45,
+		MaxRepeat: 25, RegionSkew: 0.85,
+		Seed: int64(2000 + i),
+	}
+	if small {
+		p.NumChars, p.StencilW, p.StencilH, p.RowHeight = 1000, 1000, 1000, 40
+	} else {
+		p.NumChars, p.StencilW, p.StencilH, p.RowHeight = 4000, 2000, 2000, 40
+	}
+	return Generate(p)
+}
+
+// Family2D returns benchmark 2D-i (i in 1..4): 1000 candidates, single CP,
+// 1000x1000 stencil, non-uniform blanks in both directions.
+func Family2D(i int) *core.Instance {
+	lo, hi := widthRange(i)
+	return Generate(Params{
+		Name: fmt.Sprintf("2D-%d", i), Kind: core.TwoD,
+		NumChars: 1000, NumRegions: 1,
+		StencilW: 1000, StencilH: 1000,
+		MinWidth: lo, MaxWidth: hi,
+		MinHeight: lo, MaxHeight: hi,
+		MinBlank: 4, MaxBlank: 14,
+		MinShots: 2, MaxShots: 60, ShotAreaUnit: 45,
+		MaxRepeat: 60, RegionSkew: 0,
+		Seed: int64(3000 + i),
+	})
+}
+
+// Family2M returns MCC benchmark 2M-i (i in 1..8). Following Table 4 of the
+// paper, cases 1-4 have 1000 candidates and a single CP on a 1000x1000
+// stencil while cases 5-8 have 4000 candidates, 10 CPs and a 2000x2000
+// stencil.
+func Family2M(i int) *core.Instance {
+	small := i <= 4
+	idx := i
+	if !small {
+		idx = i - 4
+	}
+	lo, hi := widthRange(idx)
+	p := Params{
+		Name: fmt.Sprintf("2M-%d", i), Kind: core.TwoD,
+		MinWidth: lo, MaxWidth: hi,
+		MinHeight: lo, MaxHeight: hi,
+		MinBlank: 4, MaxBlank: 14,
+		MinShots: 2, MaxShots: 60, ShotAreaUnit: 45,
+		MaxRepeat: 25, RegionSkew: 0.85,
+		Seed: int64(4000 + i),
+	}
+	if small {
+		p.NumChars, p.NumRegions, p.StencilW, p.StencilH = 1000, 1, 1000, 1000
+	} else {
+		p.NumChars, p.NumRegions, p.StencilW, p.StencilH = 4000, 10, 2000, 2000
+	}
+	return Generate(p)
+}
+
+// tiny1TSizes holds the candidate counts of the 1T-x family (Table 5).
+var tiny1TSizes = []int{8, 10, 11, 12, 14}
+
+// tiny2TSizes holds the candidate counts of the 2T-x family (Table 5).
+var tiny2TSizes = []int{6, 8, 10, 12}
+
+// Tiny1T returns benchmark 1T-i (i in 1..5): a single-row instance with
+// 40x40 um characters and row length 200 um, as used for the exact-ILP
+// comparison of Table 5.
+func Tiny1T(i int) *core.Instance {
+	n := tiny1TSizes[i-1]
+	return Generate(Params{
+		Name: fmt.Sprintf("1T-%d", i), Kind: core.OneD,
+		NumChars: n, NumRegions: 1,
+		StencilW: 200, StencilH: 40, RowHeight: 40,
+		MinWidth: 40, MaxWidth: 40,
+		MinBlank: 3, MaxBlank: 15,
+		MinShots: 2, MaxShots: 40, ShotAreaUnit: 45,
+		MaxRepeat: 10, RegionSkew: 0,
+		Seed: int64(5000 + i),
+	})
+}
+
+// Tiny2T returns benchmark 2T-i (i in 1..4): tiny 2D instances with 40x40 um
+// characters for the exact-ILP comparison of Table 5.
+func Tiny2T(i int) *core.Instance {
+	n := tiny2TSizes[i-1]
+	return Generate(Params{
+		Name: fmt.Sprintf("2T-%d", i), Kind: core.TwoD,
+		NumChars: n, NumRegions: 1,
+		StencilW: 110, StencilH: 110,
+		MinWidth: 40, MaxWidth: 40,
+		MinHeight: 40, MaxHeight: 40,
+		MinBlank: 3, MaxBlank: 15,
+		MinShots: 2, MaxShots: 40, ShotAreaUnit: 45,
+		MaxRepeat: 10, RegionSkew: 0,
+		Seed: int64(6000 + i),
+	})
+}
+
+// Small returns a reduced-size variant of the named family, used by
+// integration tests and the quickstart example so they finish quickly while
+// exercising exactly the same code paths as the full benchmarks.
+func Small(kind core.Kind, numChars, numRegions int, seed int64) *core.Instance {
+	p := Params{
+		Name: fmt.Sprintf("small-%s-%d", kind, numChars), Kind: kind,
+		NumChars: numChars, NumRegions: numRegions,
+		StencilW: 400, StencilH: 400, RowHeight: 40,
+		MinWidth: 30, MaxWidth: 60,
+		MinHeight: 30, MaxHeight: 60,
+		MinBlank: 4, MaxBlank: 14,
+		MinShots: 2, MaxShots: 60, ShotAreaUnit: 45,
+		MaxRepeat: 30, RegionSkew: 0.6,
+		Seed: seed,
+	}
+	if kind == core.TwoD {
+		p.RowHeight = 0
+	}
+	return Generate(p)
+}
+
+// ByName returns the named benchmark instance ("1D-3", "1M-7", "2D-1",
+// "2M-5", "1T-2", "2T-4", ...).
+func ByName(name string) (*core.Instance, error) {
+	parts := strings.SplitN(name, "-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("gen: malformed benchmark name %q", name)
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil || idx < 1 {
+		return nil, fmt.Errorf("gen: malformed benchmark index in %q", name)
+	}
+	switch strings.ToUpper(parts[0]) {
+	case "1D":
+		if idx > 4 {
+			return nil, fmt.Errorf("gen: 1D family has cases 1..4, got %d", idx)
+		}
+		return Family1D(idx), nil
+	case "1M":
+		if idx > 8 {
+			return nil, fmt.Errorf("gen: 1M family has cases 1..8, got %d", idx)
+		}
+		return Family1M(idx), nil
+	case "2D":
+		if idx > 4 {
+			return nil, fmt.Errorf("gen: 2D family has cases 1..4, got %d", idx)
+		}
+		return Family2D(idx), nil
+	case "2M":
+		if idx > 8 {
+			return nil, fmt.Errorf("gen: 2M family has cases 1..8, got %d", idx)
+		}
+		return Family2M(idx), nil
+	case "1T":
+		if idx > len(tiny1TSizes) {
+			return nil, fmt.Errorf("gen: 1T family has cases 1..%d, got %d", len(tiny1TSizes), idx)
+		}
+		return Tiny1T(idx), nil
+	case "2T":
+		if idx > len(tiny2TSizes) {
+			return nil, fmt.Errorf("gen: 2T family has cases 1..%d, got %d", len(tiny2TSizes), idx)
+		}
+		return Tiny2T(idx), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown benchmark family %q", parts[0])
+	}
+}
+
+// AllNames lists every named benchmark in the order the paper reports them.
+func AllNames() []string {
+	var names []string
+	for i := 1; i <= 4; i++ {
+		names = append(names, fmt.Sprintf("1D-%d", i))
+	}
+	for i := 1; i <= 8; i++ {
+		names = append(names, fmt.Sprintf("1M-%d", i))
+	}
+	for i := 1; i <= 4; i++ {
+		names = append(names, fmt.Sprintf("2D-%d", i))
+	}
+	for i := 1; i <= 8; i++ {
+		names = append(names, fmt.Sprintf("2M-%d", i))
+	}
+	for i := 1; i <= len(tiny1TSizes); i++ {
+		names = append(names, fmt.Sprintf("1T-%d", i))
+	}
+	for i := 1; i <= len(tiny2TSizes); i++ {
+		names = append(names, fmt.Sprintf("2T-%d", i))
+	}
+	return names
+}

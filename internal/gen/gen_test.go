@@ -1,0 +1,185 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eblow/internal/core"
+)
+
+func TestAllNamedBenchmarksValidate(t *testing.T) {
+	for _, name := range AllNames() {
+		in, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: invalid instance: %v", name, err)
+		}
+		if in.Name != name {
+			t.Errorf("%s: instance name %q", name, in.Name)
+		}
+	}
+}
+
+func TestFamilyParameters(t *testing.T) {
+	cases := []struct {
+		name    string
+		chars   int
+		regions int
+		stencil int
+		kind    core.Kind
+	}{
+		{"1D-1", 1000, 1, 1000, core.OneD},
+		{"1D-4", 1000, 1, 1000, core.OneD},
+		{"1M-1", 1000, 10, 1000, core.OneD},
+		{"1M-5", 4000, 10, 2000, core.OneD},
+		{"1M-8", 4000, 10, 2000, core.OneD},
+		{"2D-2", 1000, 1, 1000, core.TwoD},
+		{"2M-3", 1000, 1, 1000, core.TwoD},
+		{"2M-7", 4000, 10, 2000, core.TwoD},
+		{"1T-1", 8, 1, 200, core.OneD},
+		{"1T-5", 14, 1, 200, core.OneD},
+		{"2T-1", 6, 1, 110, core.TwoD},
+		{"2T-4", 12, 1, 110, core.TwoD},
+	}
+	for _, c := range cases {
+		in, err := ByName(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if in.NumCharacters() != c.chars {
+			t.Errorf("%s: %d characters, want %d", c.name, in.NumCharacters(), c.chars)
+		}
+		if in.NumRegions != c.regions {
+			t.Errorf("%s: %d regions, want %d", c.name, in.NumRegions, c.regions)
+		}
+		if in.StencilWidth != c.stencil {
+			t.Errorf("%s: stencil width %d, want %d", c.name, in.StencilWidth, c.stencil)
+		}
+		if in.Kind != c.kind {
+			t.Errorf("%s: kind %v, want %v", c.name, in.Kind, c.kind)
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a := Family1M(3)
+	b := Family1M(3)
+	if len(a.Characters) != len(b.Characters) {
+		t.Fatal("different character counts")
+	}
+	for i := range a.Characters {
+		ca, cb := a.Characters[i], b.Characters[i]
+		if ca.Width != cb.Width || ca.VSBShots != cb.VSBShots || ca.BlankLeft != cb.BlankLeft {
+			t.Fatalf("character %d differs between runs", i)
+		}
+		for r := range ca.Repeats {
+			if ca.Repeats[r] != cb.Repeats[r] {
+				t.Fatalf("character %d repeats differ", i)
+			}
+		}
+	}
+}
+
+func TestFamiliesDiffer(t *testing.T) {
+	a := Family1D(1)
+	b := Family1D(4)
+	// Later cases use wider characters, so the average width must grow.
+	avg := func(in *core.Instance) float64 {
+		s := 0
+		for _, c := range in.Characters {
+			s += c.Width
+		}
+		return float64(s) / float64(len(in.Characters))
+	}
+	if avg(b) <= avg(a) {
+		t.Errorf("1D-4 avg width %.1f should exceed 1D-1 avg width %.1f", avg(b), avg(a))
+	}
+}
+
+func TestMCCRegionImbalance(t *testing.T) {
+	in := Family1M(1)
+	vsb := in.VSBTime()
+	var minT, maxT int64 = vsb[0], vsb[0]
+	for _, v := range vsb {
+		if v < minT {
+			minT = v
+		}
+		if v > maxT {
+			maxT = v
+		}
+	}
+	if minT <= 0 {
+		t.Fatalf("region with non-positive VSB time: %v", vsb)
+	}
+	if float64(maxT)/float64(minT) < 1.05 {
+		t.Errorf("regions too balanced (max/min = %.3f); MCC benchmarks need imbalance", float64(maxT)/float64(minT))
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	bad := []string{"", "1D", "1D-0", "1D-9", "3D-1", "1M-99", "2T-9", "xx-yy", "1T-abc"}
+	for _, name := range bad {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) should fail", name)
+		}
+	}
+}
+
+func TestSmallInstances(t *testing.T) {
+	for _, kind := range []core.Kind{core.OneD, core.TwoD} {
+		in := Small(kind, 60, 4, 99)
+		if err := in.Validate(); err != nil {
+			t.Errorf("Small(%v): %v", kind, err)
+		}
+		if in.NumCharacters() != 60 || in.NumRegions != 4 {
+			t.Errorf("Small(%v): unexpected shape", kind)
+		}
+		if !strings.HasPrefix(in.Name, "small-") {
+			t.Errorf("Small(%v): name %q", kind, in.Name)
+		}
+	}
+}
+
+// Property: generated characters always respect the parameter ranges and
+// have valid geometry (blanks fit in the bounding box).
+func TestGeneratedRangesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := Generate(Params{
+			Name: "prop", Kind: core.TwoD,
+			NumChars: 40, NumRegions: 3,
+			StencilW: 500, StencilH: 500,
+			MinWidth: 20, MaxWidth: 50,
+			MinHeight: 20, MaxHeight: 50,
+			MinBlank: 1, MaxBlank: 9,
+			MinShots: 2, MaxShots: 15,
+			MaxRepeat: 20, RegionSkew: 0.5,
+			Seed: seed,
+		})
+		if err := in.Validate(); err != nil {
+			return false
+		}
+		for _, c := range in.Characters {
+			if c.Width < 20 || c.Width > 50 || c.Height < 20 || c.Height > 50 {
+				return false
+			}
+			if c.VSBShots < 2 || c.VSBShots > 15 {
+				return false
+			}
+			if c.PatternWidth() <= 0 || c.PatternHeight() <= 0 {
+				return false
+			}
+			for _, r := range c.Repeats {
+				if r < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package geom provides small geometric primitives (rectangles and
+// intervals) shared by the 1D and 2D stencil planners.
+package geom
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle identified by its lower-left corner
+// (X, Y) and its extent (W, H). All coordinates are in the same length unit
+// used by the stencil description (micrometres in the shipped benchmarks).
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Right returns the x coordinate of the right edge.
+func (r Rect) Right() int { return r.X + r.W }
+
+// Top returns the y coordinate of the top edge.
+func (r Rect) Top() int { return r.Y + r.H }
+
+// Area returns the area of the rectangle.
+func (r Rect) Area() int64 { return int64(r.W) * int64(r.H) }
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	return s.X >= r.X && s.Y >= r.Y && s.Right() <= r.Right() && s.Top() <= r.Top()
+}
+
+// Overlaps reports whether the interiors of r and s intersect. Touching
+// edges do not count as an overlap.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.X < s.Right() && s.X < r.Right() && r.Y < s.Top() && s.Y < r.Top()
+}
+
+// Intersection returns the intersection of r and s and whether it is
+// non-empty (has positive area).
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	x1 := max(r.X, s.X)
+	y1 := max(r.Y, s.Y)
+	x2 := min(r.Right(), s.Right())
+	y2 := min(r.Top(), s.Top())
+	if x2 <= x1 || y2 <= y1 {
+		return Rect{}, false
+	}
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}, true
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %dx%d]", r.X, r.Y, r.W, r.H)
+}
+
+// Interval is a closed-open 1D interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the length of the interval (zero if degenerate or inverted).
+func (iv Interval) Len() int {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Overlaps reports whether two intervals share interior points.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+// Overlap returns the length of the intersection of two intervals.
+func (iv Interval) Overlap(o Interval) int {
+	lo := max(iv.Lo, o.Lo)
+	hi := min(iv.Hi, o.Hi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

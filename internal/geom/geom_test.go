@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 10, H: 20}
+	if r.Right() != 11 {
+		t.Errorf("Right() = %d, want 11", r.Right())
+	}
+	if r.Top() != 22 {
+		t.Errorf("Top() = %d, want 22", r.Top())
+	}
+	if r.Area() != 200 {
+		t.Errorf("Area() = %d, want 200", r.Area())
+	}
+	if r.String() == "" {
+		t.Error("String() should not be empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	outer := Rect{X: 0, Y: 0, W: 100, H: 100}
+	cases := []struct {
+		name string
+		in   Rect
+		want bool
+	}{
+		{"inside", Rect{10, 10, 20, 20}, true},
+		{"equal", Rect{0, 0, 100, 100}, true},
+		{"touching edge", Rect{80, 80, 20, 20}, true},
+		{"spills right", Rect{90, 10, 20, 20}, false},
+		{"spills top", Rect{10, 90, 20, 20}, false},
+		{"negative origin", Rect{-1, 0, 10, 10}, false},
+	}
+	for _, c := range cases {
+		if got := outer.Contains(c.in); got != c.want {
+			t.Errorf("%s: Contains(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	cases := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"identical", Rect{0, 0, 10, 10}, true},
+		{"partial", Rect{5, 5, 10, 10}, true},
+		{"touching edge", Rect{10, 0, 10, 10}, false},
+		{"touching corner", Rect{10, 10, 10, 10}, false},
+		{"disjoint", Rect{20, 20, 5, 5}, false},
+		{"contained", Rect{2, 2, 3, 3}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%s: Overlaps(%v) = %v, want %v", c.name, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("%s: symmetric Overlaps = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 10, 10}
+	got, ok := a.Intersection(b)
+	if !ok {
+		t.Fatal("expected non-empty intersection")
+	}
+	want := Rect{5, 5, 5, 5}
+	if got != want {
+		t.Errorf("Intersection = %v, want %v", got, want)
+	}
+	if _, ok := a.Intersection(Rect{10, 10, 5, 5}); ok {
+		t.Error("touching corner should have empty intersection")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{0, 10}
+	cases := []struct {
+		b       Interval
+		overlap int
+	}{
+		{Interval{5, 15}, 5},
+		{Interval{10, 20}, 0},
+		{Interval{-5, 0}, 0},
+		{Interval{-5, 3}, 3},
+		{Interval{2, 8}, 6},
+		{Interval{0, 10}, 10},
+	}
+	for _, c := range cases {
+		if got := a.Overlap(c.b); got != c.overlap {
+			t.Errorf("Overlap(%v, %v) = %d, want %d", a, c.b, got, c.overlap)
+		}
+		wantOverlaps := c.overlap > 0
+		if got := a.Overlaps(c.b); got != wantOverlaps {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", a, c.b, got, wantOverlaps)
+		}
+	}
+}
+
+func TestIntervalLen(t *testing.T) {
+	if (Interval{3, 7}).Len() != 4 {
+		t.Error("Len of [3,7) should be 4")
+	}
+	if (Interval{7, 3}).Len() != 0 {
+		t.Error("inverted interval should have length 0")
+	}
+}
+
+// Property: intersection is symmetric and contained in both rectangles.
+func TestRectIntersectionProperties(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := Rect{int(ax), int(ay), int(aw) + 1, int(ah) + 1}
+		b := Rect{int(bx), int(by), int(bw) + 1, int(bh) + 1}
+		i1, ok1 := a.Intersection(b)
+		i2, ok2 := b.Intersection(a)
+		if ok1 != ok2 || i1 != i2 {
+			return false
+		}
+		if ok1 {
+			if !a.Contains(i1) || !b.Contains(i1) {
+				return false
+			}
+			if !a.Overlaps(b) {
+				return false
+			}
+		} else if a.Overlaps(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interval overlap length is symmetric and bounded by both lengths.
+func TestIntervalOverlapProperties(t *testing.T) {
+	f := func(alo int8, alen uint8, blo int8, blen uint8) bool {
+		a := Interval{int(alo), int(alo) + int(alen)}
+		b := Interval{int(blo), int(blo) + int(blen)}
+		ov := a.Overlap(b)
+		if ov != b.Overlap(a) {
+			return false
+		}
+		return ov <= a.Len() && ov <= b.Len() && ov >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package ilp implements a branch-and-bound solver for (mixed) integer
+// linear programs on top of the simplex solver in package lp. Together the
+// two packages replace the commercial solver used by the E-BLOW paper for
+// the exact ILP formulations (3) and (7) and for the fast-ILP-convergence
+// step of the 1D planner.
+//
+// The solver uses best-bound node selection, most-fractional branching and
+// supports wall-clock and node-count limits, which matters because the exact
+// OSP formulations are deliberately allowed to time out in the Table 5
+// experiment (that is the point of the comparison).
+package ilp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"eblow/internal/lp"
+)
+
+// Status describes the outcome of a branch-and-bound run.
+type Status int
+
+const (
+	// Optimal means the incumbent is provably optimal (within Options.Gap).
+	Optimal Status = iota
+	// Feasible means a feasible integral incumbent was found but the search
+	// stopped early (time or node limit).
+	Feasible
+	// Infeasible means no integral solution exists.
+	Infeasible
+	// Unbounded means the LP relaxation is unbounded.
+	Unbounded
+	// Limit means a limit was hit before any integral solution was found.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is an integer linear program: an LP plus integrality flags.
+type Problem struct {
+	LP      *lp.Problem
+	Integer []bool
+}
+
+// NewBinaryProblem builds a problem where the listed variables are binary
+// (integral with bounds [0,1]); the remaining variables stay continuous.
+func NewBinaryProblem(p *lp.Problem, binaryVars []int) *Problem {
+	integer := make([]bool, p.NumVars())
+	for _, v := range binaryVars {
+		integer[v] = true
+		p.SetBounds(v, 0, 1)
+	}
+	return &Problem{LP: p, Integer: integer}
+}
+
+// Options controls the search.
+type Options struct {
+	// TimeLimit bounds the wall-clock time (0 = no limit).
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored nodes (0 = no limit).
+	MaxNodes int
+	// Gap is the relative optimality gap at which the search stops
+	// (default 1e-6).
+	Gap float64
+	// Maximize must match the LP objective sense. It defaults to true when
+	// constructed through Maximize()/Minimize() helpers; Solve reads the
+	// sense from this flag because lp.Problem does not expose it.
+	Maximize bool
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	Nodes     int
+	BestBound float64
+	Elapsed   time.Duration
+}
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("ilp: invalid problem")
+
+const intTol = 1e-6
+
+type node struct {
+	bounds []boundChange
+	bound  float64 // LP relaxation value at the parent (optimistic)
+	depth  int
+}
+
+type boundChange struct {
+	v      int
+	lo, hi float64
+}
+
+// nodeQueue is a max-heap on the optimistic bound (for maximization; bounds
+// are stored pre-negated for minimization so max-heap is always right).
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound > q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound. The LP inside p is used as a template: its
+// variable bounds are temporarily overridden per node and restored before
+// returning.
+func Solve(p *Problem, opt Options) (*Result, error) {
+	if p == nil || p.LP == nil || len(p.Integer) != p.LP.NumVars() {
+		return nil, fmt.Errorf("%w: integrality flags do not match LP", ErrBadProblem)
+	}
+	if opt.Gap <= 0 {
+		opt.Gap = 1e-6
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+
+	sign := 1.0
+	if !opt.Maximize {
+		sign = -1
+	}
+
+	// Save original bounds so we can restore them.
+	n := p.LP.NumVars()
+	origLo := make([]float64, n)
+	origHi := make([]float64, n)
+	for j := 0; j < n; j++ {
+		origLo[j], origHi[j] = boundsOf(p.LP, j)
+	}
+	defer func() {
+		for j := 0; j < n; j++ {
+			p.LP.SetBounds(j, origLo[j], origHi[j])
+		}
+	}()
+
+	solveNode := func(nd *node) (*lp.Result, error) {
+		for j := 0; j < n; j++ {
+			p.LP.SetBounds(j, origLo[j], origHi[j])
+		}
+		for _, bc := range nd.bounds {
+			p.LP.SetBounds(bc.v, bc.lo, bc.hi)
+		}
+		return lp.Solve(p.LP)
+	}
+
+	res := &Result{Status: Limit, Objective: sign * math.Inf(-1), BestBound: sign * math.Inf(1)}
+	var incumbent []float64
+	haveIncumbent := false
+
+	queue := &nodeQueue{}
+	heap.Init(queue)
+	heap.Push(queue, &node{bound: math.Inf(1)})
+
+	better := func(a, b float64) bool { // is a strictly better than b?
+		if opt.Maximize {
+			return a > b+1e-12
+		}
+		return a < b-1e-12
+	}
+
+	nodes := 0
+	for queue.Len() > 0 {
+		if opt.MaxNodes > 0 && nodes >= opt.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd := heap.Pop(queue).(*node)
+		// Prune against incumbent using the parent bound.
+		if haveIncumbent && !math.IsInf(nd.bound, 1) {
+			parentObj := nd.bound
+			if opt.Maximize {
+				if parentObj <= res.Objective+opt.Gap*math.Abs(res.Objective)+1e-9 {
+					continue
+				}
+			} else {
+				if -parentObj >= res.Objective-opt.Gap*math.Abs(res.Objective)-1e-9 {
+					continue
+				}
+			}
+		}
+		nodes++
+
+		lpRes, err := solveNode(nd)
+		if err != nil {
+			return nil, err
+		}
+		switch lpRes.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if nd.depth == 0 {
+				res.Status = Unbounded
+				res.Nodes = nodes
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			continue
+		case lp.IterationLimit:
+			continue
+		}
+
+		obj := lpRes.Objective
+		// Prune: the node cannot beat the incumbent.
+		if haveIncumbent && !better(obj, res.Objective) {
+			continue
+		}
+
+		// Find the most fractional integer variable.
+		branchVar := -1
+		bestFrac := intTol
+		for j := 0; j < n; j++ {
+			if !p.Integer[j] {
+				continue
+			}
+			f := lpRes.X[j] - math.Floor(lpRes.X[j])
+			dist := math.Min(f, 1-f)
+			if dist > bestFrac {
+				bestFrac = dist
+				branchVar = j
+			}
+		}
+
+		if branchVar < 0 {
+			// Integral solution.
+			xr := make([]float64, n)
+			for j := 0; j < n; j++ {
+				if p.Integer[j] {
+					xr[j] = math.Round(lpRes.X[j])
+				} else {
+					xr[j] = lpRes.X[j]
+				}
+			}
+			if !haveIncumbent || better(obj, res.Objective) {
+				res.Objective = obj
+				incumbent = xr
+				haveIncumbent = true
+			}
+			continue
+		}
+
+		// Branch.
+		xv := lpRes.X[branchVar]
+		lo, hi := origLo[branchVar], origHi[branchVar]
+		loNode := &node{bounds: appendBound(nd.bounds, boundChange{branchVar, lo, math.Floor(xv)}), bound: signAdjust(obj, opt.Maximize), depth: nd.depth + 1}
+		hiNode := &node{bounds: appendBound(nd.bounds, boundChange{branchVar, math.Ceil(xv), hi}), bound: signAdjust(obj, opt.Maximize), depth: nd.depth + 1}
+		heap.Push(queue, loNode)
+		heap.Push(queue, hiNode)
+	}
+
+	res.Nodes = nodes
+	res.Elapsed = time.Since(start)
+	if haveIncumbent {
+		res.X = incumbent
+		if queue.Len() == 0 && (opt.MaxNodes == 0 || nodes < opt.MaxNodes) &&
+			(deadline.IsZero() || time.Now().Before(deadline)) {
+			res.Status = Optimal
+		} else {
+			res.Status = Feasible
+		}
+		res.BestBound = res.Objective
+		// Tighten the reported bound from the remaining open nodes.
+		for _, nd := range *queue {
+			b := nd.bound
+			if !opt.Maximize {
+				b = -b
+			}
+			if opt.Maximize && b > res.BestBound {
+				res.BestBound = b
+			}
+			if !opt.Maximize && b < res.BestBound {
+				res.BestBound = b
+			}
+		}
+		return res, nil
+	}
+	if queue.Len() == 0 {
+		res.Status = Infeasible
+	}
+	return res, nil
+}
+
+// signAdjust stores bounds so the max-heap always pops the most promising
+// node first regardless of the optimization direction.
+func signAdjust(obj float64, maximize bool) float64 {
+	if maximize {
+		return obj
+	}
+	return -obj
+}
+
+func appendBound(bs []boundChange, bc boundChange) []boundChange {
+	out := make([]boundChange, len(bs)+1)
+	copy(out, bs)
+	out[len(bs)] = bc
+	return out
+}
+
+// boundsOf extracts the current bounds of variable j from an lp.Problem.
+// lp.Problem does not export its bounds, so the package keeps them here.
+func boundsOf(p *lp.Problem, j int) (float64, float64) {
+	return p.LowerBound(j), p.UpperBound(j)
+}

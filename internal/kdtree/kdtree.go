@@ -1,0 +1,266 @@
+// Package kdtree implements a k-d tree over points with integer payload
+// identifiers. The 2D planner of E-BLOW uses it to find "similar" character
+// candidates during clustering (Algorithm 4 in the paper): each candidate is
+// embedded as a feature vector (width, height, blanks, profit) and clustering
+// repeatedly performs orthogonal range queries around the current candidate.
+//
+// Deletion is implemented lazily with tombstones; the tree rebuilds itself
+// when more than half of its nodes are tombstones, which keeps both queries
+// and amortised deletions cheap for the clustering workload (every candidate
+// is deleted at most once).
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a k-dimensional coordinate vector.
+type Point []float64
+
+type node struct {
+	point   Point
+	id      int
+	axis    int
+	deleted bool
+	left    *node
+	right   *node
+}
+
+// Tree is a k-d tree. The zero value is not usable; create trees with New or
+// Build.
+type Tree struct {
+	k        int
+	root     *node
+	size     int // live (non-deleted) points
+	total    int // live + tombstones
+	byID     map[int]*node
+	rebuilds int
+}
+
+// New creates an empty tree for k-dimensional points.
+func New(k int) *Tree {
+	if k <= 0 {
+		panic("kdtree: dimension must be positive")
+	}
+	return &Tree{k: k, byID: make(map[int]*node)}
+}
+
+// Build creates a balanced tree from parallel slices of points and ids.
+func Build(k int, points []Point, ids []int) *Tree {
+	if len(points) != len(ids) {
+		panic("kdtree: points and ids length mismatch")
+	}
+	t := New(k)
+	nodes := make([]*node, len(points))
+	for i := range points {
+		t.checkDim(points[i])
+		if _, dup := t.byID[ids[i]]; dup {
+			panic(fmt.Sprintf("kdtree: duplicate id %d", ids[i]))
+		}
+		nodes[i] = &node{point: points[i], id: ids[i]}
+		t.byID[ids[i]] = nodes[i]
+	}
+	t.root = buildRec(nodes, 0, k)
+	t.size = len(points)
+	t.total = len(points)
+	return t
+}
+
+func buildRec(nodes []*node, depth, k int) *node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	axis := depth % k
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].point[axis] < nodes[j].point[axis] })
+	mid := len(nodes) / 2
+	n := nodes[mid]
+	n.axis = axis
+	n.left = buildRec(append([]*node(nil), nodes[:mid]...), depth+1, k)
+	n.right = buildRec(append([]*node(nil), nodes[mid+1:]...), depth+1, k)
+	return n
+}
+
+func (t *Tree) checkDim(p Point) {
+	if len(p) != t.k {
+		panic(fmt.Sprintf("kdtree: point has %d dimensions, tree has %d", len(p), t.k))
+	}
+}
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return t.size }
+
+// K returns the dimensionality of the tree.
+func (t *Tree) K() int { return t.k }
+
+// Rebuilds returns how many times the tree compacted itself; exposed for
+// tests and instrumentation.
+func (t *Tree) Rebuilds() int { return t.rebuilds }
+
+// Insert adds a point with the given id. Inserting an id that is already
+// present (and not deleted) panics: ids identify character candidates and
+// must be unique.
+func (t *Tree) Insert(p Point, id int) {
+	t.checkDim(p)
+	if n, ok := t.byID[id]; ok && !n.deleted {
+		panic(fmt.Sprintf("kdtree: duplicate id %d", id))
+	}
+	nn := &node{point: append(Point(nil), p...), id: id}
+	t.byID[id] = nn
+	t.size++
+	t.total++
+	if t.root == nil {
+		nn.axis = 0
+		t.root = nn
+		return
+	}
+	cur := t.root
+	depth := 0
+	for {
+		axis := depth % t.k
+		if p[axis] < cur.point[axis] {
+			if cur.left == nil {
+				nn.axis = (depth + 1) % t.k
+				cur.left = nn
+				return
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				nn.axis = (depth + 1) % t.k
+				cur.right = nn
+				return
+			}
+			cur = cur.right
+		}
+		depth++
+	}
+}
+
+// Delete removes the point with the given id. It reports whether the id was
+// present and live.
+func (t *Tree) Delete(id int) bool {
+	n, ok := t.byID[id]
+	if !ok || n.deleted {
+		return false
+	}
+	n.deleted = true
+	delete(t.byID, id)
+	t.size--
+	if t.total > 8 && t.size < t.total/2 {
+		t.compact()
+	}
+	return true
+}
+
+// compact rebuilds the tree from the live points only.
+func (t *Tree) compact() {
+	points := make([]Point, 0, t.size)
+	ids := make([]int, 0, t.size)
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n == nil {
+			return
+		}
+		if !n.deleted {
+			points = append(points, n.point)
+			ids = append(ids, n.id)
+		}
+		collect(n.left)
+		collect(n.right)
+	}
+	collect(t.root)
+	nodes := make([]*node, len(points))
+	t.byID = make(map[int]*node, len(points))
+	for i := range points {
+		nodes[i] = &node{point: points[i], id: ids[i]}
+		t.byID[ids[i]] = nodes[i]
+	}
+	t.root = buildRec(nodes, 0, t.k)
+	t.size = len(points)
+	t.total = len(points)
+	t.rebuilds++
+}
+
+// Range returns the ids of all live points p with lo[d] <= p[d] <= hi[d] for
+// every dimension d.
+func (t *Tree) Range(lo, hi Point) []int {
+	t.checkDim(lo)
+	t.checkDim(hi)
+	var out []int
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		axis := n.axis
+		if !n.deleted {
+			inside := true
+			for d := 0; d < t.k; d++ {
+				if n.point[d] < lo[d] || n.point[d] > hi[d] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				out = append(out, n.id)
+			}
+		}
+		if n.left != nil && n.point[axis] >= lo[axis] {
+			visit(n.left)
+		}
+		if n.right != nil && n.point[axis] <= hi[axis] {
+			visit(n.right)
+		}
+	}
+	visit(t.root)
+	return out
+}
+
+// Nearest returns the id of the live point closest to q in Euclidean
+// distance and the distance itself. ok is false when the tree is empty.
+func (t *Tree) Nearest(q Point) (id int, dist float64, ok bool) {
+	t.checkDim(q)
+	bestID := -1
+	best := math.Inf(1)
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		if !n.deleted {
+			d := sqDist(n.point, q)
+			if d < best {
+				best = d
+				bestID = n.id
+			}
+		}
+		axis := n.axis
+		diff := q[axis] - n.point[axis]
+		var near, far *node
+		if diff < 0 {
+			near, far = n.left, n.right
+		} else {
+			near, far = n.right, n.left
+		}
+		visit(near)
+		if diff*diff < best {
+			visit(far)
+		}
+	}
+	visit(t.root)
+	if bestID < 0 {
+		return 0, 0, false
+	}
+	return bestID, math.Sqrt(best), true
+}
+
+func sqDist(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,269 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2)
+	if tr.Len() != 0 || tr.K() != 2 {
+		t.Error("unexpected empty tree state")
+	}
+	if got := tr.Range(Point{0, 0}, Point{10, 10}); len(got) != 0 {
+		t.Errorf("Range on empty tree = %v", got)
+	}
+	if _, _, ok := tr.Nearest(Point{1, 1}); ok {
+		t.Error("Nearest on empty tree should report !ok")
+	}
+	if tr.Delete(3) {
+		t.Error("Delete on empty tree should return false")
+	}
+}
+
+func TestInsertRangeDelete(t *testing.T) {
+	tr := New(2)
+	pts := []Point{{1, 1}, {2, 5}, {5, 2}, {8, 8}, {3, 3}}
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	got := tr.Range(Point{0, 0}, Point{4, 4})
+	sort.Ints(got)
+	want := []int{0, 4}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Range = %v, want %v", got, want)
+	}
+	if !tr.Delete(0) {
+		t.Error("Delete(0) should succeed")
+	}
+	if tr.Delete(0) {
+		t.Error("second Delete(0) should fail")
+	}
+	got = tr.Range(Point{0, 0}, Point{4, 4})
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("Range after delete = %v, want [4]", got)
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len after delete = %d, want 4", tr.Len())
+	}
+}
+
+func TestBuildBalanced(t *testing.T) {
+	var pts []Point
+	var ids []int
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{float64(i), float64(100 - i)})
+		ids = append(ids, i)
+	}
+	tr := Build(2, pts, ids)
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Range(Point{10, 0}, Point{20, 200})
+	if len(got) != 11 {
+		t.Errorf("Range size = %d, want 11", len(got))
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tr := Build(2, []Point{{0, 0}, {10, 10}, {5, 5}, {-3, 4}}, []int{0, 1, 2, 3})
+	id, dist, ok := tr.Nearest(Point{6, 6})
+	if !ok || id != 2 {
+		t.Errorf("Nearest = %d, want 2", id)
+	}
+	if math.Abs(dist-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("dist = %v, want sqrt(2)", dist)
+	}
+	tr.Delete(2)
+	id, _, ok = tr.Nearest(Point{6, 6})
+	if !ok || id != 1 {
+		t.Errorf("Nearest after delete = %d, want 1", id)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 64; i++ {
+		tr.Insert(Point{float64(i), float64(i % 7), float64(i % 3)}, i)
+	}
+	for i := 0; i < 40; i++ {
+		tr.Delete(i)
+	}
+	if tr.Rebuilds() == 0 {
+		t.Error("expected at least one compaction after heavy deletion")
+	}
+	if tr.Len() != 24 {
+		t.Errorf("Len = %d, want 24", tr.Len())
+	}
+	got := tr.Range(Point{0, 0, 0}, Point{100, 100, 100})
+	if len(got) != 24 {
+		t.Errorf("Range after compaction = %d ids, want 24", len(got))
+	}
+	// Re-inserting a previously deleted id must be allowed.
+	tr.Insert(Point{1, 1, 1}, 5)
+	if tr.Len() != 25 {
+		t.Errorf("Len after re-insert = %d, want 25", tr.Len())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero dimension", func() { New(0) })
+	assertPanics("dim mismatch insert", func() { New(2).Insert(Point{1}, 0) })
+	assertPanics("dim mismatch range", func() { New(2).Range(Point{1}, Point{1, 2}) })
+	assertPanics("duplicate id", func() {
+		tr := New(1)
+		tr.Insert(Point{1}, 7)
+		tr.Insert(Point{2}, 7)
+	})
+	assertPanics("build length mismatch", func() { Build(1, []Point{{1}}, nil) })
+}
+
+// linearRange is the reference implementation for the property tests.
+func linearRange(pts map[int]Point, lo, hi Point) []int {
+	var out []int
+	for id, p := range pts {
+		ok := true
+		for d := range p {
+			if p[d] < lo[d] || p[d] > hi[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Property: range queries on the tree match a linear scan under random
+// interleavings of builds, inserts and deletes.
+func TestRangeMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		tr := New(k)
+		live := make(map[int]Point)
+		nextID := 0
+		for op := 0; op < 60; op++ {
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.6:
+				p := make(Point, k)
+				for d := range p {
+					p[d] = float64(rng.Intn(20))
+				}
+				tr.Insert(p, nextID)
+				live[nextID] = p
+				nextID++
+			default:
+				// delete a random live id
+				ids := make([]int, 0, len(live))
+				for id := range live {
+					ids = append(ids, id)
+				}
+				victim := ids[rng.Intn(len(ids))]
+				if !tr.Delete(victim) {
+					return false
+				}
+				delete(live, victim)
+			}
+		}
+		for q := 0; q < 10; q++ {
+			lo := make(Point, k)
+			hi := make(Point, k)
+			for d := range lo {
+				a := float64(rng.Intn(20))
+				b := float64(rng.Intn(20))
+				lo[d], hi[d] = math.Min(a, b), math.Max(a, b)
+			}
+			got := tr.Range(lo, hi)
+			sort.Ints(got)
+			want := linearRange(live, lo, hi)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Nearest matches the linear-scan nearest neighbour.
+func TestNearestMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(40)
+		pts := make([]Point, n)
+		ids := make([]int, n)
+		for i := range pts {
+			p := make(Point, k)
+			for d := range p {
+				p[d] = rng.Float64() * 100
+			}
+			pts[i] = p
+			ids[i] = i
+		}
+		tr := Build(k, pts, ids)
+		q := make(Point, k)
+		for d := range q {
+			q[d] = rng.Float64() * 100
+		}
+		id, dist, ok := tr.Nearest(q)
+		if !ok {
+			return false
+		}
+		bestDist := math.Inf(1)
+		for _, p := range pts {
+			if d := math.Sqrt(sqDist(p, q)); d < bestDist {
+				bestDist = d
+			}
+		}
+		_ = id
+		return math.Abs(dist-bestDist) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	pts := make([]Point, n)
+	ids := make([]int, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 100, rng.Float64() * 100}
+		ids[i] = i
+	}
+	tr := Build(4, pts, ids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := pts[i%n]
+		lo := Point{c[0] - 50, c[1] - 50, c[2] - 10, c[3] - 10}
+		hi := Point{c[0] + 50, c[1] + 50, c[2] + 10, c[3] + 10}
+		tr.Range(lo, hi)
+	}
+}

@@ -1,0 +1,219 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eblow/internal/lp"
+)
+
+func TestRelaxedAssignmentEmpty(t *testing.T) {
+	rel, err := RelaxedAssignment(nil, nil)
+	if err != nil || rel.Value != 0 {
+		t.Errorf("empty: %v %v", rel, err)
+	}
+	rel, err = RelaxedAssignment([]Item{{Weight: 1, Profit: 1}}, nil)
+	if err != nil || rel.Value != 0 {
+		t.Errorf("no knapsacks: %v %v", rel, err)
+	}
+}
+
+func TestRelaxedAssignmentErrors(t *testing.T) {
+	if _, err := RelaxedAssignment([]Item{{Weight: -1, Profit: 1}}, []float64{5}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := RelaxedAssignment([]Item{{Weight: 1, Profit: 1}}, []float64{-5}); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+func TestRelaxedAssignmentSimple(t *testing.T) {
+	items := []Item{
+		{Weight: 10, Profit: 60},  // density 6
+		{Weight: 20, Profit: 100}, // density 5
+		{Weight: 30, Profit: 120}, // density 4
+	}
+	rel, err := RelaxedAssignment(items, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic fractional knapsack answer: 60 + 100 + (20/30)*120 = 240.
+	if math.Abs(rel.Value-240) > 1e-9 {
+		t.Errorf("Value = %v, want 240", rel.Value)
+	}
+	if rel.Fraction[0] != 1 || rel.Fraction[1] != 1 || math.Abs(rel.Fraction[2]-2.0/3.0) > 1e-9 {
+		t.Errorf("Fraction = %v", rel.Fraction)
+	}
+}
+
+func TestRelaxedAssignmentMultipleKnapsacks(t *testing.T) {
+	items := []Item{
+		{Weight: 10, Profit: 50},
+		{Weight: 10, Profit: 40},
+		{Weight: 10, Profit: 30},
+	}
+	rel, err := RelaxedAssignment(items, []float64{15, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total capacity 30 fits all items: value 120.
+	if math.Abs(rel.Value-120) > 1e-9 {
+		t.Errorf("Value = %v, want 120", rel.Value)
+	}
+	// Per-knapsack loads must respect the capacities.
+	for j := 0; j < 2; j++ {
+		load := 0.0
+		for i := range items {
+			load += rel.A[i][j] * items[i].Weight
+		}
+		if load > 15+1e-9 {
+			t.Errorf("knapsack %d overloaded: %v", j, load)
+		}
+	}
+}
+
+func TestZeroWeightAndNonPositiveProfit(t *testing.T) {
+	items := []Item{
+		{Weight: 0, Profit: 7},
+		{Weight: 5, Profit: 0},
+		{Weight: 5, Profit: -3},
+	}
+	rel, err := RelaxedAssignment(items, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel.Value-7) > 1e-9 {
+		t.Errorf("Value = %v, want 7", rel.Value)
+	}
+	if rel.Fraction[1] != 0 || rel.Fraction[2] != 0 {
+		t.Errorf("non-positive profit items selected: %v", rel.Fraction)
+	}
+}
+
+func TestExactBinary(t *testing.T) {
+	best, chosen := ExactBinary([]int{3, 4, 5}, []float64{10, 13, 14}, 7)
+	if math.Abs(best-23) > 1e-9 {
+		t.Errorf("best = %v, want 23", best)
+	}
+	if !chosen[0] || !chosen[1] || chosen[2] {
+		t.Errorf("chosen = %v, want [true true false]", chosen)
+	}
+	best, chosen = ExactBinary(nil, nil, 10)
+	if best != 0 || len(chosen) != 0 {
+		t.Error("empty knapsack")
+	}
+	best, _ = ExactBinary([]int{1}, []float64{5}, 0)
+	if best != 0 {
+		t.Error("zero capacity")
+	}
+	best, chosen = ExactBinary([]int{2, 2}, []float64{-1, 3}, 4)
+	if best != 3 || chosen[0] {
+		t.Error("negative profit item must not be chosen")
+	}
+}
+
+// Property: the structured relaxation matches the general simplex solution
+// of the same LP on small random instances.
+func TestRelaxationMatchesSimplex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		m := 1 + rng.Intn(3)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Weight: float64(1 + rng.Intn(20)), Profit: float64(rng.Intn(50))}
+		}
+		caps := make([]float64, m)
+		for j := range caps {
+			caps[j] = float64(5 + rng.Intn(40))
+		}
+		rel, err := RelaxedAssignment(items, caps)
+		if err != nil {
+			return false
+		}
+
+		// General LP over a_ij.
+		p := lp.NewProblem(n * m)
+		obj := make([]float64, n*m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				obj[i*m+j] = items[i].Profit
+				p.SetBounds(i*m+j, 0, 1)
+			}
+		}
+		p.SetObjective(obj, true)
+		for j := 0; j < m; j++ {
+			terms := make([]lp.Term, 0, n)
+			for i := 0; i < n; i++ {
+				terms = append(terms, lp.Term{Var: i*m + j, Coeff: items[i].Weight})
+			}
+			p.AddConstraint(terms, lp.LE, caps[j])
+		}
+		for i := 0; i < n; i++ {
+			terms := make([]lp.Term, 0, m)
+			for j := 0; j < m; j++ {
+				terms = append(terms, lp.Term{Var: i*m + j, Coeff: 1})
+			}
+			p.AddConstraint(terms, lp.LE, 1)
+		}
+		res, err := lp.Solve(p)
+		if err != nil || res.Status != lp.Optimal {
+			return false
+		}
+		return math.Abs(res.Objective-rel.Value) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the relaxation assignment matrix is feasible (capacities and
+// per-item fraction bounds) and consistent with the aggregate fractions, and
+// the relaxation value upper-bounds the exact integral single-knapsack value
+// when there is one knapsack with integer capacity.
+func TestRelaxationFeasibilityAndBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		items := make([]Item, n)
+		weights := make([]int, n)
+		profits := make([]float64, n)
+		for i := range items {
+			weights[i] = 1 + rng.Intn(15)
+			profits[i] = float64(rng.Intn(40))
+			items[i] = Item{Weight: float64(weights[i]), Profit: profits[i]}
+		}
+		capacity := 5 + rng.Intn(60)
+		rel, err := RelaxedAssignment(items, []float64{float64(capacity)})
+		if err != nil {
+			return false
+		}
+		load := 0.0
+		for i := range items {
+			rowSum := 0.0
+			for j := range rel.A[i] {
+				if rel.A[i][j] < -1e-9 {
+					return false
+				}
+				rowSum += rel.A[i][j]
+			}
+			if rowSum > 1+1e-9 {
+				return false
+			}
+			if math.Abs(rowSum-rel.Fraction[i]) > 1e-6 {
+				return false
+			}
+			load += rel.Fraction[i] * items[i].Weight
+		}
+		if load > float64(capacity)+1e-6 {
+			return false
+		}
+		exact, _ := ExactBinary(weights, profits, capacity)
+		return rel.Value >= exact-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,316 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	return res
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+	// Classic optimum: x=2, y=6, obj=36.
+	p := NewProblem(2)
+	p.SetObjective([]float64{3, 5}, true)
+	p.AddDense([]float64{1, 0}, LE, 4)
+	p.AddDense([]float64{0, 2}, LE, 12)
+	p.AddDense([]float64{3, 2}, LE, 18)
+	res := solveOK(t, p)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-36) > 1e-6 {
+		t.Errorf("objective = %v, want 36", res.Objective)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 || math.Abs(res.X[1]-6) > 1e-6 {
+		t.Errorf("X = %v, want [2 6]", res.X)
+	}
+}
+
+func TestSimpleMinimization(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3.
+	// Optimum: push y to its lower bound 3 => x = 7, obj = 23.
+	p := NewProblem(2)
+	p.SetObjective([]float64{2, 3}, false)
+	p.AddDense([]float64{1, 1}, GE, 10)
+	p.SetBounds(0, 2, math.Inf(1))
+	p.SetBounds(1, 3, math.Inf(1))
+	res := solveOK(t, p)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-23) > 1e-6 {
+		t.Errorf("objective = %v, want 23", res.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x + 2y s.t. x + y = 5, x - y <= 1, x, y >= 0.
+	// Optimum: y as large as possible: x=0, y=5, obj=10.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 2}, true)
+	p.AddDense([]float64{1, 1}, EQ, 5)
+	p.AddDense([]float64{1, -1}, LE, 1)
+	res := solveOK(t, p)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-10) > 1e-6 {
+		t.Errorf("objective = %v, want 10", res.Objective)
+	}
+	if math.Abs(res.X[0]+res.X[1]-5) > 1e-6 {
+		t.Errorf("equality violated: %v", res.X)
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	// maximize x + y with x <= 0.4, y <= 0.7 via bounds and x + y <= 2.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, true)
+	p.SetBounds(0, 0, 0.4)
+	p.SetBounds(1, 0, 0.7)
+	p.AddDense([]float64{1, 1}, LE, 2)
+	res := solveOK(t, p)
+	if math.Abs(res.Objective-1.1) > 1e-6 {
+		t.Errorf("objective = %v, want 1.1", res.Objective)
+	}
+}
+
+func TestNonzeroLowerBounds(t *testing.T) {
+	// minimize x + y, x >= 1.5, y >= 2.5, x + y >= 5  => obj 5 with x+y=5.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, false)
+	p.SetBounds(0, 1.5, math.Inf(1))
+	p.SetBounds(1, 2.5, math.Inf(1))
+	p.AddDense([]float64{1, 1}, GE, 5)
+	res := solveOK(t, p)
+	if res.Status != Optimal || math.Abs(res.Objective-5) > 1e-6 {
+		t.Errorf("got %v obj %v, want optimal 5", res.Status, res.Objective)
+	}
+	if res.X[0] < 1.5-1e-9 || res.X[1] < 2.5-1e-9 {
+		t.Errorf("lower bounds violated: %v", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{1}, true)
+	p.AddDense([]float64{1}, GE, 10)
+	p.AddDense([]float64{1}, LE, 5)
+	res := solveOK(t, p)
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, 5, 3)
+	res := solveOK(t, p)
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddDense([]float64{1, -1}, LE, 1)
+	res := solveOK(t, p)
+	if res.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// maximize -x s.t. -x <= -3  (i.e. x >= 3): optimum x=3, obj=-3.
+	p := NewProblem(1)
+	p.SetObjective([]float64{-1}, true)
+	p.AddDense([]float64{-1}, LE, -3)
+	res := solveOK(t, p)
+	if res.Status != Optimal || math.Abs(res.Objective+3) > 1e-6 {
+		t.Errorf("got %v obj %v, want optimal -3", res.Status, res.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// A classic cycling-prone problem (Beale); Bland fallback must terminate.
+	p := NewProblem(4)
+	p.SetObjective([]float64{0.75, -150, 0.02, -6}, true)
+	p.AddDense([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddDense([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddDense([]float64{0, 0, 1, 0}, LE, 1)
+	res := solveOK(t, p)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-0.05) > 1e-6 {
+		t.Errorf("objective = %v, want 0.05", res.Objective)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Op strings")
+	}
+	if Op(9).String() == "" || Status(9).String() == "" {
+		t.Error("fallback strings empty")
+	}
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, IterationLimit} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func TestSortTermsByVar(t *testing.T) {
+	terms := []Term{{Var: 3, Coeff: 1}, {Var: 1, Coeff: 2}, {Var: 2, Coeff: 3}}
+	SortTermsByVar(terms)
+	if !sort.SliceIsSorted(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var }) {
+		t.Error("terms not sorted")
+	}
+}
+
+// TestKnapsackRelaxationMatchesGreedy cross-checks the simplex against the
+// closed-form solution of the fractional knapsack problem.
+func TestKnapsackRelaxationMatchesGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		w := make([]float64, n)
+		v := make([]float64, n)
+		var totalW float64
+		for i := range w {
+			w[i] = 1 + float64(rng.Intn(20))
+			v[i] = 1 + float64(rng.Intn(50))
+			totalW += w[i]
+		}
+		cap := 1 + rng.Float64()*totalW
+
+		p := NewProblem(n)
+		p.SetObjective(v, true)
+		var terms []Term
+		for i := range w {
+			p.SetBounds(i, 0, 1)
+			terms = append(terms, Term{Var: i, Coeff: w[i]})
+		}
+		p.AddConstraint(terms, LE, cap)
+		res, err := Solve(p)
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+
+		// Greedy closed form.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return v[idx[a]]/w[idx[a]] > v[idx[b]]/w[idx[b]] })
+		remaining := cap
+		want := 0.0
+		for _, i := range idx {
+			if remaining <= 0 {
+				break
+			}
+			take := math.Min(1, remaining/w[i])
+			want += take * v[i]
+			remaining -= take * w[i]
+		}
+		return math.Abs(res.Objective-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomFeasibility checks that on random problems built around a known
+// feasible point the solver reports optimal, satisfies every constraint and
+// does at least as well as the known point.
+func TestRandomFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		x0 := make([]float64, n)
+		for j := range obj {
+			obj[j] = float64(rng.Intn(21) - 10)
+			x0[j] = rng.Float64() * 5
+			p.SetBounds(j, 0, 10)
+		}
+		p.SetObjective(obj, true)
+		rows := make([][]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				rows[i][j] = float64(rng.Intn(11) - 5)
+				dot += rows[i][j] * x0[j]
+			}
+			rhs[i] = dot + rng.Float64()*3 // slack keeps x0 feasible
+			p.AddDense(rows[i], LE, rhs[i])
+		}
+		res, err := Solve(p)
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		// Feasibility of the returned point.
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				dot += rows[i][j] * res.X[j]
+			}
+			if dot > rhs[i]+1e-6 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			if res.X[j] < -1e-6 || res.X[j] > 10+1e-6 {
+				return false
+			}
+		}
+		// Optimality relative to the known feasible point.
+		objX0 := 0.0
+		for j := range obj {
+			objX0 += obj[j] * x0[j]
+		}
+		return res.Objective >= objX0-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddConstraintPanicsOnBadVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range variable")
+		}
+	}()
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{Var: 3, Coeff: 1}}, LE, 1)
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObjective([]float64{1, 1, 1}, true)
+	p.AddDense([]float64{1, 1, 1}, LE, 10)
+	p.AddDense([]float64{1, 2, 3}, LE, 15)
+	p.MaxIters = 1
+	res := solveOK(t, p)
+	if res.Status != IterationLimit && res.Status != Optimal {
+		t.Errorf("status = %v, want iteration-limit or optimal", res.Status)
+	}
+}

@@ -1,0 +1,181 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyInputs(t *testing.T) {
+	m, w := MaxWeight(0, 0, nil)
+	if len(m) != 0 || w != 0 {
+		t.Errorf("empty: %v %v", m, w)
+	}
+	m, w = MaxWeight(3, 0, nil)
+	if w != 0 || len(m) != 3 || m[0] != -1 {
+		t.Errorf("no right side: %v %v", m, w)
+	}
+	m, w = MaxWeight(2, 2, nil)
+	if w != 0 || m[0] != -1 || m[1] != -1 {
+		t.Errorf("no edges: %v %v", m, w)
+	}
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	// Two characters, two rows: the cross assignment is optimal (5+4=9 vs 3+2=5).
+	edges := []Edge{
+		{L: 0, R: 0, Weight: 3},
+		{L: 0, R: 1, Weight: 5},
+		{L: 1, R: 0, Weight: 4},
+		{L: 1, R: 1, Weight: 2},
+	}
+	m, w := MaxWeight(2, 2, edges)
+	if math.Abs(w-9) > 1e-9 {
+		t.Errorf("weight = %v, want 9", w)
+	}
+	if m[0] != 1 || m[1] != 0 {
+		t.Errorf("matching = %v, want [1 0]", m)
+	}
+}
+
+func TestUnbalancedSides(t *testing.T) {
+	// Three left, one right: only the heaviest edge should be used.
+	edges := []Edge{
+		{L: 0, R: 0, Weight: 1},
+		{L: 1, R: 0, Weight: 7},
+		{L: 2, R: 0, Weight: 3},
+	}
+	m, w := MaxWeight(3, 1, edges)
+	if math.Abs(w-7) > 1e-9 {
+		t.Errorf("weight = %v, want 7", w)
+	}
+	if m[0] != -1 || m[1] != 0 || m[2] != -1 {
+		t.Errorf("matching = %v, want [-1 0 -1]", m)
+	}
+}
+
+func TestIgnoresNegativeAndOutOfRangeEdges(t *testing.T) {
+	edges := []Edge{
+		{L: 0, R: 0, Weight: -5},
+		{L: 5, R: 0, Weight: 100}, // out of range, ignored
+		{L: 0, R: 9, Weight: 100}, // out of range, ignored
+		{L: 1, R: 1, Weight: 2},
+	}
+	m, w := MaxWeight(2, 2, edges)
+	if math.Abs(w-2) > 1e-9 {
+		t.Errorf("weight = %v, want 2", w)
+	}
+	if m[0] != -1 || m[1] != 1 {
+		t.Errorf("matching = %v, want [-1 1]", m)
+	}
+}
+
+func TestDuplicateEdgesKeepMax(t *testing.T) {
+	edges := []Edge{
+		{L: 0, R: 0, Weight: 2},
+		{L: 0, R: 0, Weight: 6},
+		{L: 0, R: 0, Weight: 4},
+	}
+	_, w := MaxWeight(1, 1, edges)
+	if math.Abs(w-6) > 1e-9 {
+		t.Errorf("weight = %v, want 6", w)
+	}
+}
+
+// bruteForce finds the optimal matching weight by trying every injective
+// assignment of left vertices to right vertices (including leaving vertices
+// unmatched).
+func bruteForce(nLeft, nRight int, w [][]float64) float64 {
+	best := 0.0
+	usedR := make([]bool, nRight)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc > best {
+			best = acc
+		}
+		if i == nLeft {
+			return
+		}
+		rec(i+1, acc) // leave i unmatched
+		for r := 0; r < nRight; r++ {
+			if !usedR[r] && w[i][r] > 0 {
+				usedR[r] = true
+				rec(i+1, acc+w[i][r])
+				usedR[r] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Property: Hungarian result equals brute force on random small graphs.
+func TestMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL := 1 + rng.Intn(6)
+		nR := 1 + rng.Intn(6)
+		w := make([][]float64, nL)
+		var edges []Edge
+		for i := range w {
+			w[i] = make([]float64, nR)
+			for j := range w[i] {
+				if rng.Float64() < 0.6 {
+					w[i][j] = float64(rng.Intn(50))
+					if w[i][j] > 0 {
+						edges = append(edges, Edge{L: i, R: j, Weight: w[i][j]})
+					}
+				}
+			}
+		}
+		_, got := MaxWeight(nL, nR, edges)
+		want := bruteForce(nL, nR, w)
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the returned matching is injective (no right vertex reused) and
+// its weight equals the sum of matched edge weights.
+func TestMatchingIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL := 1 + rng.Intn(8)
+		nR := 1 + rng.Intn(8)
+		weights := make(map[[2]int]float64)
+		var edges []Edge
+		for i := 0; i < nL; i++ {
+			for j := 0; j < nR; j++ {
+				if rng.Float64() < 0.5 {
+					w := float64(rng.Intn(30) + 1)
+					weights[[2]int{i, j}] = w
+					edges = append(edges, Edge{L: i, R: j, Weight: w})
+				}
+			}
+		}
+		match, total := MaxWeight(nL, nR, edges)
+		seen := make(map[int]bool)
+		sum := 0.0
+		for i, r := range match {
+			if r == -1 {
+				continue
+			}
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+			w, ok := weights[[2]int{i, r}]
+			if !ok {
+				return false
+			}
+			sum += w
+		}
+		return math.Abs(sum-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

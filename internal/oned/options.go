@@ -1,0 +1,170 @@
+// Package oned implements the E-BLOW planner for the 1DOSP problem: the
+// simplified ILP formulation (4) of the paper, the successive-rounding
+// relaxation loop (Algorithm 1), the fast-ILP-convergence step (Algorithm 2),
+// the dynamic-programming single-row refinement (Algorithm 3) and the
+// post-swap / post-insertion stages, producing a row-structured stencil plan
+// that minimizes the MCC writing time.
+package oned
+
+import "time"
+
+// LPBackend selects how the LP relaxation of formulation (4) is solved in
+// each successive-rounding iteration.
+type LPBackend int
+
+const (
+	// StructuredLP solves the relaxation with the dedicated multiple-knapsack
+	// greedy solver (package knapsack). This is the default: it exploits the
+	// structure of formulation (5) and scales to MCC-sized instances.
+	StructuredLP LPBackend = iota
+	// SimplexLP solves the relaxation with the general dense simplex
+	// (package lp). Intended for small instances and for the ablation bench
+	// that compares the two backends.
+	SimplexLP
+)
+
+func (b LPBackend) String() string {
+	if b == SimplexLP {
+		return "simplex"
+	}
+	return "structured"
+}
+
+// Options configures the E-BLOW 1D planner. The zero value is completed by
+// Defaults(); the default parameter values are the ones reported in the
+// paper (thinv = 0.9, Lth = 0.1, Uth = 0.9, refinement pruning threshold 20).
+type Options struct {
+	// Thinv is the rounding threshold of Algorithm 1: every variable within
+	// Thinv of the iteration maximum is rounded up.
+	Thinv float64
+	// Lth and Uth are the fast-ILP-convergence thresholds of Algorithm 2.
+	Lth, Uth float64
+	// PruneThreshold bounds the number of partial solutions kept per step of
+	// the refinement dynamic program (Algorithm 3).
+	PruneThreshold int
+
+	// MaxIterations bounds the successive-rounding loop.
+	MaxIterations int
+	// MaxAssignPerIteration caps how many characters one rounding iteration
+	// may fix. The structured LP backend returns nearly integral solutions,
+	// so without a cap the whole stencil would be filled in one iteration
+	// and the dynamic per-region profit update of Eqn. (6) would never get a
+	// chance to rebalance the MCC regions. 0 means max(25, n/12).
+	MaxAssignPerIteration int
+	// ConvergenceFraction triggers the fast-ILP-convergence step: when one
+	// rounding iteration assigns fewer than ConvergenceFraction * n
+	// characters (and at least one iteration has run), the remaining
+	// variables are handed to the ILP. Set to 0 to only trigger on stalls.
+	ConvergenceFraction float64
+	// ILPTimeLimit bounds the branch-and-bound run inside fast convergence.
+	ILPTimeLimit time.Duration
+	// MaxILPVariables caps the number of binary variables handed to the ILP;
+	// if more remain the threshold filtering is tightened first.
+	MaxILPVariables int
+
+	// EnableFastConvergence and EnablePostInsertion distinguish E-BLOW-0
+	// (both false) from E-BLOW-1 (both true); the paper's Fig. 11/12
+	// ablation toggles exactly these two techniques.
+	EnableFastConvergence bool
+	EnablePostInsertion   bool
+	// EnablePostSwap controls the greedy post-swap stage.
+	EnablePostSwap bool
+
+	// PostSwapCandidates bounds how many unselected characters the post-swap
+	// stage considers (sorted by profit).
+	PostSwapCandidates int
+	// PostInsertCandidates bounds how many unselected characters the
+	// post-insertion matching considers.
+	PostInsertCandidates int
+
+	// StaticProfit disables the dynamic per-region profit update of Eqn. (6)
+	// and uses the selection-independent total reduction instead. Exposed for
+	// the ablation benches; the paper's flow keeps it false.
+	StaticProfit bool
+
+	// Backend selects the LP relaxation solver.
+	Backend LPBackend
+
+	// CollectTrace records per-iteration statistics (Figs. 5 and 6).
+	CollectTrace bool
+}
+
+// Defaults returns the paper's parameter settings with E-BLOW-1 behaviour
+// (fast ILP convergence and post stages enabled).
+func Defaults() Options {
+	return Options{
+		Thinv:                 0.9,
+		Lth:                   0.1,
+		Uth:                   0.9,
+		PruneThreshold:        20,
+		MaxIterations:         60,
+		MaxAssignPerIteration: 0,
+		ConvergenceFraction:   0.01,
+		ILPTimeLimit:          2 * time.Second,
+		MaxILPVariables:       400,
+		EnableFastConvergence: true,
+		EnablePostInsertion:   true,
+		EnablePostSwap:        true,
+		PostSwapCandidates:    200,
+		PostInsertCandidates:  200,
+		Backend:               StructuredLP,
+		CollectTrace:          false,
+	}
+}
+
+// withDefaults fills zero fields of o with the default settings.
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.Thinv <= 0 || o.Thinv > 1 {
+		o.Thinv = d.Thinv
+	}
+	if o.Lth <= 0 {
+		o.Lth = d.Lth
+	}
+	if o.Uth <= 0 {
+		o.Uth = d.Uth
+	}
+	if o.PruneThreshold <= 0 {
+		o.PruneThreshold = d.PruneThreshold
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = d.MaxIterations
+	}
+	if o.ILPTimeLimit <= 0 {
+		o.ILPTimeLimit = d.ILPTimeLimit
+	}
+	if o.MaxILPVariables <= 0 {
+		o.MaxILPVariables = d.MaxILPVariables
+	}
+	if o.PostSwapCandidates <= 0 {
+		o.PostSwapCandidates = d.PostSwapCandidates
+	}
+	if o.PostInsertCandidates <= 0 {
+		o.PostInsertCandidates = d.PostInsertCandidates
+	}
+	if o.ConvergenceFraction <= 0 {
+		o.ConvergenceFraction = d.ConvergenceFraction
+	}
+	return o
+}
+
+// Trace records per-iteration statistics of the successive-rounding loop;
+// the benchmark harness uses it to regenerate Fig. 5 (unsolved characters per
+// LP iteration) and Fig. 6 (distribution of the LP values in the last
+// iteration).
+type Trace struct {
+	// UnsolvedPerIteration[k] is the number of still-unsolved characters
+	// after rounding iteration k.
+	UnsolvedPerIteration []int
+	// AssignedPerIteration[k] is the number of characters assigned to rows
+	// in iteration k.
+	AssignedPerIteration []int
+	// LastLPValues holds the per-character maximum fractional value in the
+	// last LP before fast convergence (the histogram of Fig. 6).
+	LastLPValues []float64
+	// FastILPVariables is the number of binary variables handed to the ILP
+	// in the fast-convergence step (0 when the step did not run).
+	FastILPVariables int
+	// UsedFastConvergence reports whether Algorithm 2 ran.
+	UsedFastConvergence bool
+}

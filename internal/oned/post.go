@@ -1,0 +1,309 @@
+package oned
+
+import (
+	"sort"
+
+	"eblow/internal/core"
+	"eblow/internal/matching"
+)
+
+// This file implements the two post-optimization stages of E-BLOW 1D:
+// post-swap (exchange an on-stencil character for a better off-stencil one)
+// and post-insertion (insert additional characters into row gaps, formulated
+// as a maximum-weight bipartite matching between characters and rows, Fig. 8
+// of the paper).
+
+// postSwap runs swap passes until the writing time stops improving. A pass
+// tries, for every promising unselected character, to exchange it for one
+// on-stencil character (the paper's post-swap) or — when the rows are too
+// tightly packed to admit a wider character one-for-one — for two adjacent
+// on-stencil characters.
+func (s *solver) postSwap() {
+	for pass := 0; pass < 8; pass++ {
+		if !s.postSwapOnce() {
+			return
+		}
+	}
+}
+
+// postSwapOnce performs one sweep over the unselected candidates and reports
+// whether any swap was applied.
+func (s *solver) postSwapOnce() bool {
+	times := s.regionTimes()
+	profits := s.currentProfits()
+
+	candidates := s.unselectedByProfit(profits, s.opt.PostSwapCandidates)
+	if len(candidates) == 0 {
+		return false
+	}
+
+	reductions := func(i int) []int64 {
+		r := make([]int64, s.in.NumRegions)
+		for c := range r {
+			r[c] = s.in.Reduction(i, c)
+		}
+		return r
+	}
+	improvedAny := false
+
+	for _, u := range candidates {
+		if s.assigned[u] >= 0 {
+			continue
+		}
+		ru := reductions(u)
+		curMax := core.MaxInt64(times)
+		curTotal := sumTimes(times)
+		bestRow := -1
+		var bestOut []int // characters leaving the stencil
+		var bestMax, bestTotal int64
+		var bestOrder []int
+
+		// A swap is accepted when it strictly reduces the maximum region
+		// time, or keeps the maximum and strictly reduces the total writing
+		// time; the second case matters when several regions are tied at the
+		// maximum and no single swap can lower all of them at once.
+		consider := func(j int, out []int, order []int, newMax, newTotal int64) {
+			if newMax > curMax || (newMax == curMax && newTotal >= curTotal) {
+				return
+			}
+			if bestRow >= 0 && (newMax > bestMax || (newMax == bestMax && newTotal >= bestTotal)) {
+				return
+			}
+			if s.rowWidthWithOrder(order) > s.w {
+				return
+			}
+			bestRow, bestMax, bestTotal = j, newMax, newTotal
+			bestOut = append([]int(nil), out...)
+			bestOrder = append([]int(nil), order...)
+		}
+
+		after := func(out []int) (int64, int64) {
+			var newMax, newTotal int64
+			for c := range times {
+				t := times[c] - ru[c]
+				for _, v := range out {
+					t += s.in.Reduction(v, c)
+				}
+				if t > newMax {
+					newMax = t
+				}
+				newTotal += t
+			}
+			return newMax, newTotal
+		}
+
+		for j := range s.rows {
+			row := &s.rows[j]
+			for k, v := range row.order {
+				// One-for-one: replace v by u.
+				order := append([]int(nil), row.order...)
+				order[k] = u
+				nm, nt := after([]int{v})
+				consider(j, []int{v}, order, nm, nt)
+				// One-for-two: replace the adjacent pair (v, next) by u; this
+				// is the only way a wide character can enter a tightly packed
+				// row.
+				if k+1 < len(row.order) {
+					v2 := row.order[k+1]
+					order2 := make([]int, 0, len(row.order)-1)
+					order2 = append(order2, row.order[:k]...)
+					order2 = append(order2, u)
+					order2 = append(order2, row.order[k+2:]...)
+					nm2, nt2 := after([]int{v, v2})
+					consider(j, []int{v, v2}, order2, nm2, nt2)
+				}
+			}
+		}
+		if bestRow < 0 {
+			continue
+		}
+		// Apply the swap.
+		for _, v := range bestOut {
+			s.unassign(v)
+			for c := range times {
+				times[c] += s.in.Reduction(v, c)
+			}
+		}
+		s.assign(u, bestRow)
+		row := &s.rows[bestRow]
+		row.order = bestOrder
+		row.width = s.rowWidthWithOrder(bestOrder)
+		for c := range times {
+			times[c] -= ru[c]
+		}
+		improvedAny = true
+	}
+	return improvedAny
+}
+
+// sumTimes returns the total writing time over all regions.
+func sumTimes(times []int64) int64 {
+	var s int64
+	for _, t := range times {
+		s += t
+	}
+	return s
+}
+
+// postInsert repeatedly runs the matching-based insertion until no further
+// characters can be added, then finishes with a plain right-end append pass
+// so trailing slack in the rows never goes unused.
+func (s *solver) postInsert() {
+	for pass := 0; pass < 12; pass++ {
+		if s.postInsertOnce() == 0 {
+			break
+		}
+	}
+	s.appendRemaining()
+}
+
+// postInsertOnce inserts additional characters into rows with spare width
+// and returns the number of insertions. The assignment of characters to rows
+// is a maximum-weight bipartite matching with at most one insertion per row
+// (Fig. 8 of the paper); the insertion point inside a row is the gap with
+// the smallest width increase.
+func (s *solver) postInsertOnce() int {
+	profits := s.currentProfits()
+	candidates := s.unselectedByProfit(profits, s.opt.PostInsertCandidates)
+	if len(candidates) == 0 {
+		return 0
+	}
+
+	// Rows with spare capacity.
+	type rowSlack struct {
+		row   int
+		slack int
+	}
+	var rows []rowSlack
+	for j := range s.rows {
+		slack := s.w - s.rows[j].width
+		if slack > 0 {
+			rows = append(rows, rowSlack{row: j, slack: slack})
+		}
+	}
+	if len(rows) == 0 {
+		return 0
+	}
+
+	type insertion struct {
+		gap   int
+		delta int
+	}
+	best := make(map[[2]int]insertion) // (candidate index, row index) -> insertion
+
+	var edges []matching.Edge
+	for ci, u := range candidates {
+		for rj, rs := range rows {
+			gap, delta := s.bestInsertion(u, s.rows[rs.row].order)
+			if delta <= rs.slack {
+				best[[2]int{ci, rj}] = insertion{gap: gap, delta: delta}
+				edges = append(edges, matching.Edge{L: ci, R: rj, Weight: profits[u]})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+	inserted := 0
+	match, _ := matching.MaxWeight(len(candidates), len(rows), edges)
+	for ci, rj := range match {
+		if rj < 0 {
+			continue
+		}
+		u := candidates[ci]
+		rowIdx := rows[rj].row
+		ins := best[[2]int{ci, rj}]
+		row := &s.rows[rowIdx]
+		order := make([]int, 0, len(row.order)+1)
+		order = append(order, row.order[:ins.gap]...)
+		order = append(order, u)
+		order = append(order, row.order[ins.gap:]...)
+		width := s.rowWidthWithOrder(order)
+		if width > s.w {
+			continue // the symmetric estimate was off; skip this insertion
+		}
+		s.assign(u, rowIdx)
+		row.order = order
+		row.width = width
+		inserted++
+	}
+	return inserted
+}
+
+// appendRemaining greedily appends any remaining positive-profit characters
+// at the right end of the first row with enough slack (the simple insertion
+// of the prior work, used here as a final clean-up).
+func (s *solver) appendRemaining() {
+	profits := s.currentProfits()
+	candidates := s.unselectedByProfit(profits, s.n)
+	for _, u := range candidates {
+		cu := s.in.Characters[u]
+		for j := range s.rows {
+			row := &s.rows[j]
+			var newWidth int
+			if len(row.order) == 0 {
+				newWidth = cu.Width
+			} else {
+				last := s.in.Characters[row.order[len(row.order)-1]]
+				newWidth = row.width + cu.Width - core.HOverlap(last, cu)
+			}
+			if newWidth <= s.w {
+				s.assign(u, j)
+				row.order = append(row.order, u)
+				row.width = newWidth
+				break
+			}
+		}
+	}
+}
+
+// bestInsertion returns the gap index (0..len(order)) with the smallest width
+// increase when inserting character u into the ordered row, and that
+// increase.
+func (s *solver) bestInsertion(u int, order []int) (int, int) {
+	cu := s.in.Characters[u]
+	if len(order) == 0 {
+		return 0, cu.Width
+	}
+	bestGap, bestDelta := -1, 0
+	for gap := 0; gap <= len(order); gap++ {
+		var delta int
+		switch gap {
+		case 0:
+			first := s.in.Characters[order[0]]
+			delta = cu.Width - core.HOverlap(cu, first)
+		case len(order):
+			last := s.in.Characters[order[len(order)-1]]
+			delta = cu.Width - core.HOverlap(last, cu)
+		default:
+			a := s.in.Characters[order[gap-1]]
+			b := s.in.Characters[order[gap]]
+			delta = cu.Width - core.HOverlap(a, cu) - core.HOverlap(cu, b) + core.HOverlap(a, b)
+		}
+		if bestGap < 0 || delta < bestDelta {
+			bestGap, bestDelta = gap, delta
+		}
+	}
+	return bestGap, bestDelta
+}
+
+// unselectedByProfit returns up to limit unselected characters with positive
+// profit, sorted by decreasing profit.
+func (s *solver) unselectedByProfit(profits []float64, limit int) []int {
+	var ids []int
+	for i := 0; i < s.n; i++ {
+		if s.assigned[i] < 0 && profits[i] > 0 && s.width[i] <= s.w {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if profits[ids[a]] != profits[ids[b]] {
+			return profits[ids[a]] > profits[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	return ids
+}

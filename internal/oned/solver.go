@@ -1,0 +1,571 @@
+package oned
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"eblow/internal/core"
+	"eblow/internal/ilp"
+	"eblow/internal/knapsack"
+	"eblow/internal/lp"
+)
+
+// solver holds the working state of one E-BLOW 1D run.
+type solver struct {
+	in  *core.Instance
+	opt Options
+
+	n, m, w int // characters, rows, stencil width
+
+	width  []int // bounding-box widths
+	sblank []int // symmetric blanks s_i
+	effW   []int // w_i - s_i
+
+	assigned []int  // row index per character, -1 when not on the stencil
+	solved   []bool // successive-rounding bookkeeping
+	profits  []float64
+
+	rows []rowState
+
+	// lastRelax maps character id -> per-row fractions from the most recent
+	// LP relaxation (used by fast convergence and the Fig. 6 trace).
+	lastRelax map[int][]float64
+
+	trace Trace
+}
+
+// rowState tracks one stencil row during assignment (before refinement).
+type rowState struct {
+	chars    []int
+	usedEff  int // sum of (w_i - s_i) over assigned characters
+	maxBlank int // max s_i over assigned characters
+	order    []int
+	width    int
+}
+
+// Solve runs the full E-BLOW 1D flow on the instance and returns the stencil
+// plan plus the iteration trace.
+func Solve(in *core.Instance, opt Options) (*core.Solution, *Trace, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.Kind != core.OneD {
+		return nil, nil, fmt.Errorf("oned: instance %q is not a 1DOSP instance", in.Name)
+	}
+	opt = opt.withDefaults()
+
+	s := &solver{
+		in:  in,
+		opt: opt,
+		n:   in.NumCharacters(),
+		m:   in.NumRows(),
+		w:   in.StencilWidth,
+	}
+	if s.m == 0 {
+		return nil, nil, fmt.Errorf("oned: stencil of %q has no rows", in.Name)
+	}
+	s.width = make([]int, s.n)
+	s.sblank = make([]int, s.n)
+	s.effW = make([]int, s.n)
+	s.assigned = make([]int, s.n)
+	s.solved = make([]bool, s.n)
+	s.rows = make([]rowState, s.m)
+	for i, c := range in.Characters {
+		s.width[i] = c.Width
+		s.sblank[i] = c.SymmetricHBlank()
+		s.effW[i] = c.Width - s.sblank[i]
+		s.assigned[i] = -1
+		if c.Width > s.w {
+			// Can never fit on a row; treat as solved (never selected).
+			s.solved[i] = true
+		}
+	}
+
+	s.successiveRounding()
+	if opt.EnableFastConvergence {
+		s.fastConvergence()
+		s.convergeTail()
+	}
+	s.refineAllRows()
+	if opt.EnablePostSwap {
+		s.postSwap()
+	}
+	if opt.EnablePostInsertion {
+		s.postInsert()
+	}
+
+	sol := s.buildSolution()
+	name := "E-BLOW-1"
+	if !opt.EnableFastConvergence && !opt.EnablePostInsertion {
+		name = "E-BLOW-0"
+	}
+	sol.Finalize(in, name, time.Since(start))
+	return sol, &s.trace, nil
+}
+
+// selection returns the current selection vector (characters assigned to a
+// row).
+func (s *solver) selection() []bool {
+	sel := make([]bool, s.n)
+	for i, r := range s.assigned {
+		sel[i] = r >= 0
+	}
+	return sel
+}
+
+// regionTimes returns the current per-region writing times.
+func (s *solver) regionTimes() []int64 {
+	return s.in.RegionTimes(s.selection())
+}
+
+// currentProfits evaluates the profit of every character for the current
+// selection: the dynamic Eqn. (6) value by default, or the static total
+// reduction when the StaticProfit ablation is enabled.
+func (s *solver) currentProfits() []float64 {
+	if s.opt.StaticProfit {
+		return s.in.StaticProfits()
+	}
+	return s.in.Profits(s.regionTimes())
+}
+
+// fits reports whether character i can be added to row j under the
+// symmetric-blank capacity model (Lemma 1 of the paper).
+func (s *solver) fits(i, j int) bool {
+	r := &s.rows[j]
+	maxBlank := r.maxBlank
+	if s.sblank[i] > maxBlank {
+		maxBlank = s.sblank[i]
+	}
+	return r.usedEff+s.effW[i]+maxBlank <= s.w
+}
+
+// assign puts character i on row j.
+func (s *solver) assign(i, j int) {
+	r := &s.rows[j]
+	r.chars = append(r.chars, i)
+	r.usedEff += s.effW[i]
+	if s.sblank[i] > r.maxBlank {
+		r.maxBlank = s.sblank[i]
+	}
+	s.assigned[i] = j
+	s.solved[i] = true
+}
+
+// unassign removes character i from its row (used by post-swap).
+func (s *solver) unassign(i int) {
+	j := s.assigned[i]
+	if j < 0 {
+		return
+	}
+	r := &s.rows[j]
+	for k, id := range r.chars {
+		if id == i {
+			r.chars = append(r.chars[:k], r.chars[k+1:]...)
+			break
+		}
+	}
+	r.usedEff -= s.effW[i]
+	r.maxBlank = 0
+	for _, id := range r.chars {
+		if s.sblank[id] > r.maxBlank {
+			r.maxBlank = s.sblank[id]
+		}
+	}
+	s.assigned[i] = -1
+}
+
+// unsolvedIDs returns the characters that still need a rounding decision.
+func (s *solver) unsolvedIDs() []int {
+	var ids []int
+	for i := 0; i < s.n; i++ {
+		if !s.solved[i] {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// rowCapacities returns the remaining symmetric-blank capacity of every row
+// for the LP relaxation. Empty rows reserve space for the largest blank
+// among the unsolved characters (the W - maxs bound of formulation (5)).
+func (s *solver) rowCapacities(unsolved []int) []float64 {
+	maxBlankUnsolved := 0
+	for _, i := range unsolved {
+		if s.sblank[i] > maxBlankUnsolved {
+			maxBlankUnsolved = s.sblank[i]
+		}
+	}
+	caps := make([]float64, s.m)
+	for j := range s.rows {
+		r := &s.rows[j]
+		reserve := r.maxBlank
+		if len(r.chars) == 0 {
+			reserve = maxBlankUnsolved
+		}
+		c := s.w - r.usedEff - reserve
+		if c < 0 {
+			c = 0
+		}
+		caps[j] = float64(c)
+	}
+	return caps
+}
+
+// solveRelaxation solves the LP relaxation of the simplified formulation for
+// the unsolved characters and returns the fractional assignment matrix
+// indexed like `unsolved`.
+func (s *solver) solveRelaxation(unsolved []int, caps []float64) ([][]float64, error) {
+	switch s.opt.Backend {
+	case SimplexLP:
+		return s.solveRelaxationSimplex(unsolved, caps)
+	default:
+		items := make([]knapsack.Item, len(unsolved))
+		for k, i := range unsolved {
+			items[k] = knapsack.Item{Weight: float64(s.effW[i]), Profit: s.profits[i]}
+		}
+		rel, err := knapsack.RelaxedAssignment(items, caps)
+		if err != nil {
+			return nil, err
+		}
+		return rel.A, nil
+	}
+}
+
+// solveRelaxationSimplex builds the dense LP over a_ij variables and solves
+// it with the general simplex. Only sensible for small instances; it exists
+// to validate the structured backend and for the LP-backend ablation.
+func (s *solver) solveRelaxationSimplex(unsolved []int, caps []float64) ([][]float64, error) {
+	nu := len(unsolved)
+	prob := lp.NewProblem(nu * s.m)
+	obj := make([]float64, nu*s.m)
+	for k, i := range unsolved {
+		for j := 0; j < s.m; j++ {
+			v := k*s.m + j
+			obj[v] = s.profits[i]
+			prob.SetBounds(v, 0, 1)
+		}
+	}
+	prob.SetObjective(obj, true)
+	for j := 0; j < s.m; j++ {
+		terms := make([]lp.Term, 0, nu)
+		for k, i := range unsolved {
+			terms = append(terms, lp.Term{Var: k*s.m + j, Coeff: float64(s.effW[i])})
+		}
+		prob.AddConstraint(terms, lp.LE, caps[j])
+	}
+	for k := range unsolved {
+		terms := make([]lp.Term, 0, s.m)
+		for j := 0; j < s.m; j++ {
+			terms = append(terms, lp.Term{Var: k*s.m + j, Coeff: 1})
+		}
+		prob.AddConstraint(terms, lp.LE, 1)
+	}
+	res, err := lp.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("oned: relaxation LP returned %v", res.Status)
+	}
+	a := make([][]float64, nu)
+	for k := range a {
+		a[k] = make([]float64, s.m)
+		for j := 0; j < s.m; j++ {
+			a[k][j] = res.X[k*s.m+j]
+		}
+	}
+	return a, nil
+}
+
+// successiveRounding is Algorithm 1 of the paper: solve the relaxation,
+// round the variables close to the iteration maximum, update profits and
+// repeat until the stencil is full or assignments stall.
+func (s *solver) successiveRounding() {
+	type entry struct {
+		char, row int
+		value     float64
+	}
+	for iter := 0; iter < s.opt.MaxIterations; iter++ {
+		unsolved := s.unsolvedIDs()
+		if len(unsolved) == 0 {
+			return
+		}
+		s.profits = s.currentProfits()
+		caps := s.rowCapacities(unsolved)
+		a, err := s.solveRelaxation(unsolved, caps)
+		if err != nil {
+			return
+		}
+
+		// Remember the latest relaxation for fast convergence / tracing.
+		s.lastRelax = make(map[int][]float64, len(unsolved))
+		for k, i := range unsolved {
+			s.lastRelax[i] = a[k]
+		}
+
+		apq := 0.0
+		var entries []entry
+		for k, i := range unsolved {
+			for j := 0; j < s.m; j++ {
+				v := a[k][j]
+				if v > apq {
+					apq = v
+				}
+				if v > 1e-9 {
+					entries = append(entries, entry{char: i, row: j, value: v})
+				}
+			}
+		}
+		if apq <= 1e-9 {
+			s.recordIteration(0)
+			return
+		}
+		threshold := apq * s.opt.Thinv
+		// Round in the relaxation's own ranking: by fractional value, then by
+		// profit density. Density keeps the realised selection close to the
+		// fractional-knapsack optimum of the relaxation; ranking ties by
+		// absolute profit instead measurably erodes the total reduction.
+		density := func(i int) float64 {
+			if s.effW[i] <= 0 {
+				return s.profits[i]
+			}
+			return s.profits[i] / float64(s.effW[i])
+		}
+		sort.Slice(entries, func(x, y int) bool {
+			if entries[x].value != entries[y].value {
+				return entries[x].value > entries[y].value
+			}
+			return density(entries[x].char) > density(entries[y].char)
+		})
+
+		capAssign := s.opt.MaxAssignPerIteration
+		if capAssign <= 0 {
+			capAssign = s.n / 12
+			if capAssign < 25 {
+				capAssign = 25
+			}
+		}
+		assignedThisIter := 0
+		for _, e := range entries {
+			if e.value < threshold || assignedThisIter >= capAssign {
+				break
+			}
+			if s.solved[e.char] {
+				continue
+			}
+			if s.fits(e.char, e.row) {
+				s.assign(e.char, e.row)
+				assignedThisIter++
+				continue
+			}
+			// The designated row is full (typically because the relaxation
+			// split this character across a row boundary); any other row
+			// with room is just as good.
+			for j := 0; j < s.m; j++ {
+				if j != e.row && s.fits(e.char, j) {
+					s.assign(e.char, j)
+					assignedThisIter++
+					break
+				}
+			}
+		}
+		s.recordIteration(assignedThisIter)
+
+		if assignedThisIter == 0 {
+			return
+		}
+		if s.opt.EnableFastConvergence && iter >= 1 &&
+			assignedThisIter < s.convergenceTrigger() {
+			return
+		}
+	}
+}
+
+func (s *solver) convergenceTrigger() int {
+	t := int(math.Ceil(s.opt.ConvergenceFraction * float64(s.n)))
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+func (s *solver) recordIteration(assigned int) {
+	if !s.opt.CollectTrace {
+		return
+	}
+	s.trace.AssignedPerIteration = append(s.trace.AssignedPerIteration, assigned)
+	s.trace.UnsolvedPerIteration = append(s.trace.UnsolvedPerIteration, len(s.unsolvedIDs()))
+}
+
+// fastConvergence is Algorithm 2: variables below Lth are fixed to zero,
+// variables above Uth are rounded up, and the remaining ones are decided by
+// a small ILP solved with branch and bound.
+func (s *solver) fastConvergence() {
+	unsolved := s.unsolvedIDs()
+	if len(unsolved) == 0 || s.lastRelax == nil {
+		return
+	}
+	s.trace.UsedFastConvergence = true
+	s.profits = s.currentProfits()
+
+	if s.opt.CollectTrace {
+		for _, i := range unsolved {
+			if vals, ok := s.lastRelax[i]; ok {
+				best := 0.0
+				for _, v := range vals {
+					if v > best {
+						best = v
+					}
+				}
+				s.trace.LastLPValues = append(s.trace.LastLPValues, best)
+			}
+		}
+	}
+
+	type pair struct {
+		char, row int
+		value     float64
+	}
+	var undecided []pair
+	for _, i := range unsolved {
+		vals, ok := s.lastRelax[i]
+		if !ok {
+			continue
+		}
+		for j := 0; j < s.m; j++ {
+			v := vals[j]
+			switch {
+			case v > s.opt.Uth:
+				if !s.solved[i] && s.fits(i, j) {
+					s.assign(i, j)
+				}
+			case v >= s.opt.Lth:
+				undecided = append(undecided, pair{char: i, row: j, value: v})
+			}
+		}
+	}
+	// Characters whose every variable fell below Lth stay off the stencil;
+	// nothing to do for them (they simply remain unassigned).
+
+	// Drop pairs whose character got assigned by the Uth pass.
+	kept := undecided[:0]
+	for _, p := range undecided {
+		if !s.solved[p.char] {
+			kept = append(kept, p)
+		}
+	}
+	undecided = kept
+	if len(undecided) == 0 {
+		return
+	}
+	if len(undecided) > s.opt.MaxILPVariables {
+		sort.Slice(undecided, func(x, y int) bool { return undecided[x].value > undecided[y].value })
+		undecided = undecided[:s.opt.MaxILPVariables]
+	}
+	s.trace.FastILPVariables = len(undecided)
+
+	// Build the ILP over the undecided pairs.
+	caps := s.rowCapacities(s.unsolvedIDs())
+	prob := lp.NewProblem(len(undecided))
+	obj := make([]float64, len(undecided))
+	binaries := make([]int, len(undecided))
+	for v, p := range undecided {
+		obj[v] = s.profits[p.char]
+		binaries[v] = v
+	}
+	prob.SetObjective(obj, true)
+	// Row capacity constraints.
+	rowTerms := make(map[int][]lp.Term)
+	charTerms := make(map[int][]lp.Term)
+	for v, p := range undecided {
+		rowTerms[p.row] = append(rowTerms[p.row], lp.Term{Var: v, Coeff: float64(s.effW[p.char])})
+		charTerms[p.char] = append(charTerms[p.char], lp.Term{Var: v, Coeff: 1})
+	}
+	for row, terms := range rowTerms {
+		prob.AddConstraint(terms, lp.LE, caps[row])
+	}
+	for _, terms := range charTerms {
+		prob.AddConstraint(terms, lp.LE, 1)
+	}
+	res, err := ilp.Solve(ilp.NewBinaryProblem(prob, binaries), ilp.Options{
+		Maximize:  true,
+		TimeLimit: s.opt.ILPTimeLimit,
+	})
+	if err != nil || res.X == nil {
+		return
+	}
+	// Apply the ILP decisions (highest value first so capacity conflicts are
+	// resolved in favour of the more attractive pairs).
+	type chosen struct {
+		pair
+	}
+	var picks []chosen
+	for v, p := range undecided {
+		if res.X[v] > 0.5 {
+			picks = append(picks, chosen{p})
+		}
+	}
+	sort.Slice(picks, func(x, y int) bool { return picks[x].value > picks[y].value })
+	for _, c := range picks {
+		if !s.solved[c.char] && s.fits(c.char, c.row) {
+			s.assign(c.char, c.row)
+		}
+	}
+}
+
+// convergeTail decides the remaining unassigned characters with an exact
+// 0/1 knapsack over the aggregate remaining capacity and assigns the chosen
+// ones first-fit. This is the structured counterpart of handing the whole
+// residual formulation (4) to the ILP: the LP relaxation excludes characters
+// purely by profit density, which can strand wide characters with a large
+// absolute writing-time reduction; the exact knapsack re-evaluates that
+// trade-off by total profit before the stencil capacity is gone.
+func (s *solver) convergeTail() {
+	s.profits = s.currentProfits()
+	var ids []int
+	for i := 0; i < s.n; i++ {
+		if s.assigned[i] < 0 && s.width[i] <= s.w && s.profits[i] > 0 {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	remaining := 0
+	for j := range s.rows {
+		r := &s.rows[j]
+		c := s.w - r.usedEff - r.maxBlank
+		if c > 0 {
+			remaining += c
+		}
+	}
+	if remaining <= 0 {
+		return
+	}
+	weights := make([]int, len(ids))
+	values := make([]float64, len(ids))
+	for k, i := range ids {
+		weights[k] = s.effW[i]
+		values[k] = s.profits[i]
+	}
+	_, chosen := knapsack.ExactBinary(weights, values, remaining)
+	// Assign the chosen characters first-fit, most profitable first.
+	var picked []int
+	for k, ok := range chosen {
+		if ok {
+			picked = append(picked, ids[k])
+		}
+	}
+	sort.Slice(picked, func(a, b int) bool { return s.profits[picked[a]] > s.profits[picked[b]] })
+	for _, i := range picked {
+		for j := 0; j < s.m; j++ {
+			if s.fits(i, j) {
+				s.assign(i, j)
+				break
+			}
+		}
+	}
+}

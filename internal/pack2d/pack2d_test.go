@@ -1,0 +1,162 @@
+package pack2d
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eblow/internal/core"
+	"eblow/internal/seqpair"
+)
+
+func TestPackExactTwoBlocksShareBlank(t *testing.T) {
+	blocks := []Block{
+		{W: 40, H: 40, BlankL: 5, BlankR: 5, BlankT: 5, BlankB: 5},
+		{W: 40, H: 40, BlankL: 10, BlankR: 10, BlankT: 10, BlankB: 10},
+	}
+	sp := seqpair.New(2) // block 0 left of block 1
+	pl := PackExact(sp, blocks)
+	// Shared blank = min(5, 10) = 5, so block 1 starts at 35 and the total
+	// width is 75.
+	if pl.X[1] != 35 {
+		t.Errorf("X[1] = %d, want 35", pl.X[1])
+	}
+	if pl.Width != 75 || pl.Height != 40 {
+		t.Errorf("bounding box = %dx%d, want 75x40", pl.Width, pl.Height)
+	}
+}
+
+func TestPackExactVerticalShare(t *testing.T) {
+	blocks := []Block{
+		{W: 30, H: 30, BlankT: 4, BlankB: 6},
+		{W: 30, H: 30, BlankT: 8, BlankB: 2},
+	}
+	// Block 0 below block 1: Gamma+ = <1 0>, Gamma- = <0 1>.
+	sp := &seqpair.SeqPair{Pos: []int{1, 0}, Neg: []int{0, 1}}
+	pl := PackExact(sp, blocks)
+	// Vertical share = min(top of 0, bottom of 1) = min(4, 2) = 2.
+	if pl.Y[1] != 28 {
+		t.Errorf("Y[1] = %d, want 28", pl.Y[1])
+	}
+	if pl.Height != 58 {
+		t.Errorf("Height = %d, want 58", pl.Height)
+	}
+}
+
+func TestPackExactEmptyAndMismatch(t *testing.T) {
+	pl := PackExact(seqpair.New(0), nil)
+	if pl.Width != 0 || pl.Height != 0 {
+		t.Error("empty packing should be zero-sized")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched lengths")
+		}
+	}()
+	PackExact(seqpair.New(2), []Block{{W: 1, H: 1}})
+}
+
+func TestPackApproxShrinks(t *testing.T) {
+	blocks := []Block{
+		{W: 40, H: 40, BlankL: 10, BlankR: 10, BlankT: 10, BlankB: 10},
+		{W: 40, H: 40, BlankL: 10, BlankR: 10, BlankT: 10, BlankB: 10},
+	}
+	sp := seqpair.New(2)
+	pl := PackApprox(sp, blocks)
+	// Each block shrinks to 30 wide; the pair occupies 60 < 80.
+	if pl.Width != 60 {
+		t.Errorf("approx width = %d, want 60", pl.Width)
+	}
+	ex := PackExact(sp, blocks)
+	// Exact sharing is min(10,10)=10, so exact width is 70.
+	if ex.Width != 70 {
+		t.Errorf("exact width = %d, want 70", ex.Width)
+	}
+}
+
+func TestPackApproxMinimumSize(t *testing.T) {
+	blocks := []Block{{W: 2, H: 2, BlankL: 1, BlankR: 1, BlankT: 1, BlankB: 1}}
+	pl := PackApprox(seqpair.New(1), blocks)
+	if pl.Width < 1 || pl.Height < 1 {
+		t.Error("approx blocks must keep positive size")
+	}
+}
+
+func TestInsideOutline(t *testing.T) {
+	blocks := []Block{{W: 40, H: 40}, {W: 40, H: 40}}
+	sp := seqpair.New(2)
+	pl := PackExact(sp, blocks)
+	inside := InsideOutline(pl, blocks, 50, 50)
+	if !inside[0] || inside[1] {
+		t.Errorf("inside = %v, want [true false]", inside)
+	}
+	inside = InsideOutline(pl, blocks, 100, 50)
+	if !inside[0] || !inside[1] {
+		t.Errorf("inside = %v, want [true true]", inside)
+	}
+}
+
+// Property: placements produced by PackExact always pass the strict 2D
+// validator of package core (with an outline large enough to hold them).
+func TestPackExactAlwaysLegal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		blocks := make([]Block, n)
+		chars := make([]core.Character, n)
+		for i := range blocks {
+			w := 10 + rng.Intn(40)
+			h := 10 + rng.Intn(40)
+			bl := rng.Intn(min(8, w/2))
+			br := rng.Intn(min(8, w/2))
+			bt := rng.Intn(min(8, h/2))
+			bb := rng.Intn(min(8, h/2))
+			blocks[i] = Block{W: w, H: h, BlankL: bl, BlankR: br, BlankT: bt, BlankB: bb}
+			chars[i] = core.Character{
+				ID: i, Width: w, Height: h,
+				BlankLeft: bl, BlankRight: br, BlankTop: bt, BlankBottom: bb,
+				VSBShots: 2, Repeats: []int64{1},
+			}
+		}
+		sp := seqpair.Random(n, rng)
+		pl := PackExact(sp, blocks)
+
+		in := &core.Instance{
+			Name: "pack2d-prop", Kind: core.TwoD,
+			StencilWidth: pl.Width + 1, StencilHeight: pl.Height + 1,
+			NumRegions: 1, Characters: chars,
+		}
+		sol := &core.Solution{Selected: make([]bool, n)}
+		for i := range chars {
+			sol.Selected[i] = true
+			sol.Placements = append(sol.Placements, core.Placement{Char: i, X: pl.X[i], Y: pl.Y[i]})
+		}
+		return sol.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exact packing is never smaller than the sum of pattern areas
+// would allow (area lower bound on the bounding box).
+func TestPackExactAreaBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		blocks := make([]Block, n)
+		patternArea := 0
+		for i := range blocks {
+			w := 10 + rng.Intn(30)
+			h := 10 + rng.Intn(30)
+			blocks[i] = Block{W: w, H: h, BlankL: 2, BlankR: 2, BlankT: 2, BlankB: 2}
+			patternArea += (w - 4) * (h - 4)
+		}
+		sp := seqpair.Random(n, rng)
+		pl := PackExact(sp, blocks)
+		return pl.Width*pl.Height >= patternArea
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The report tests run the experiment plumbing on the two smallest cases of
+// each family so they stay fast; the full tables are exercised by the
+// benchmark harness.
+
+func quickConfig() Config {
+	return Config{Seed: 1, SATimeLimit: time.Second, EBlow2DTimeLimit: time.Second, ExactTimeLimit: 2 * time.Second}
+}
+
+func TestTable3Subset(t *testing.T) {
+	rows, err := Table3([]string{"1D-1"}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Results) != 4 {
+		t.Fatalf("unexpected shape: %+v", rows)
+	}
+	for _, r := range rows[0].Results {
+		if r.WritingTime <= 0 || r.Characters <= 0 {
+			t.Errorf("%s produced empty result", r.Algorithm)
+		}
+	}
+	text := FormatRows("Table 3", rows)
+	if !strings.Contains(text, "1D-1") || !strings.Contains(text, "E-BLOW") {
+		t.Error("formatted table missing content")
+	}
+}
+
+func TestTable4Subset(t *testing.T) {
+	rows, err := Table4([]string{"2D-1"}, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Results) != 3 {
+		t.Fatalf("unexpected shape: %+v", rows)
+	}
+}
+
+func TestTable5SmallestCases(t *testing.T) {
+	// Run only through the plumbing for the smallest case of each family by
+	// constructing a config with a tiny time limit; the point is that the
+	// rows are produced and formatted, not that the ILP finishes.
+	cfg := quickConfig()
+	rows, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table5Cases()) {
+		t.Fatalf("expected %d rows, got %d", len(Table5Cases()), len(rows))
+	}
+	text := FormatRows("Table 5", rows)
+	if !strings.Contains(text, "ILP") {
+		t.Error("table 5 missing ILP column")
+	}
+}
+
+func TestFigures(t *testing.T) {
+	data, err := Fig5([]string{"1M-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data["1M-1"]) == 0 {
+		t.Error("Fig5 produced no iterations")
+	}
+	hist, err := Fig6("1M-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 10 {
+		t.Errorf("Fig6 histogram has %d buckets", len(hist))
+	}
+	if FormatFig5(data) == "" || FormatFig6("1M-1", hist) == "" {
+		t.Error("figure formatting empty")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rows, err := Ablation([]string{"1D-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].T0 <= 0 || rows[0].T1 <= 0 {
+		t.Fatalf("unexpected ablation rows: %+v", rows)
+	}
+	if FormatAblation(rows) == "" {
+		t.Error("ablation formatting empty")
+	}
+}
+
+func TestCaseLists(t *testing.T) {
+	if len(Table3Cases()) != 12 || len(Table4Cases()) != 12 || len(Table5Cases()) != 9 {
+		t.Error("unexpected case list lengths")
+	}
+}

@@ -1,0 +1,191 @@
+// Package seqpair implements the sequence-pair representation for rectangle
+// packing (Murata et al.) together with the O(n log n) longest-weighted-
+// common-subsequence evaluation (Tang/Chang/Wong). The 2DOSP planner of
+// E-BLOW uses it as the floorplan representation inside simulated annealing,
+// exactly as the Parquet-based flow of the prior work it compares against.
+package seqpair
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Block is a rectangle to pack.
+type Block struct {
+	W, H int
+}
+
+// SeqPair is a pair of permutations (Gamma+, Gamma-) of the block indices
+// 0..n-1. Block b is left of block c iff b precedes c in both sequences;
+// it is below c iff b follows c in Gamma+ and precedes it in Gamma-.
+type SeqPair struct {
+	Pos []int // Gamma+
+	Neg []int // Gamma-
+}
+
+// New returns the identity sequence pair for n blocks.
+func New(n int) *SeqPair {
+	sp := &SeqPair{Pos: make([]int, n), Neg: make([]int, n)}
+	for i := 0; i < n; i++ {
+		sp.Pos[i] = i
+		sp.Neg[i] = i
+	}
+	return sp
+}
+
+// Random returns a uniformly random sequence pair for n blocks.
+func Random(n int, rng *rand.Rand) *SeqPair {
+	sp := New(n)
+	rng.Shuffle(n, func(i, j int) { sp.Pos[i], sp.Pos[j] = sp.Pos[j], sp.Pos[i] })
+	rng.Shuffle(n, func(i, j int) { sp.Neg[i], sp.Neg[j] = sp.Neg[j], sp.Neg[i] })
+	return sp
+}
+
+// Clone returns a deep copy.
+func (sp *SeqPair) Clone() *SeqPair {
+	return &SeqPair{
+		Pos: append([]int(nil), sp.Pos...),
+		Neg: append([]int(nil), sp.Neg...),
+	}
+}
+
+// Len returns the number of blocks.
+func (sp *SeqPair) Len() int { return len(sp.Pos) }
+
+// Validate checks that both sequences are permutations of 0..n-1.
+func (sp *SeqPair) Validate() error {
+	n := len(sp.Pos)
+	if len(sp.Neg) != n {
+		return fmt.Errorf("seqpair: sequences have different lengths %d and %d", n, len(sp.Neg))
+	}
+	check := func(name string, seq []int) error {
+		seen := make([]bool, n)
+		for _, v := range seq {
+			if v < 0 || v >= n || seen[v] {
+				return fmt.Errorf("seqpair: %s is not a permutation", name)
+			}
+			seen[v] = true
+		}
+		return nil
+	}
+	if err := check("Gamma+", sp.Pos); err != nil {
+		return err
+	}
+	return check("Gamma-", sp.Neg)
+}
+
+// SwapPos swaps two positions in Gamma+.
+func (sp *SeqPair) SwapPos(i, j int) { sp.Pos[i], sp.Pos[j] = sp.Pos[j], sp.Pos[i] }
+
+// SwapNeg swaps two positions in Gamma-.
+func (sp *SeqPair) SwapNeg(i, j int) { sp.Neg[i], sp.Neg[j] = sp.Neg[j], sp.Neg[i] }
+
+// SwapBoth swaps block indices a and b in both sequences (a full exchange of
+// the two blocks' topological roles).
+func (sp *SeqPair) SwapBoth(a, b int) {
+	posIdx := make(map[int]int, 2)
+	negIdx := make(map[int]int, 2)
+	for i, v := range sp.Pos {
+		if v == a || v == b {
+			posIdx[v] = i
+		}
+	}
+	for i, v := range sp.Neg {
+		if v == a || v == b {
+			negIdx[v] = i
+		}
+	}
+	sp.Pos[posIdx[a]], sp.Pos[posIdx[b]] = sp.Pos[posIdx[b]], sp.Pos[posIdx[a]]
+	sp.Neg[negIdx[a]], sp.Neg[negIdx[b]] = sp.Neg[negIdx[b]], sp.Neg[negIdx[a]]
+}
+
+// Packing is the result of evaluating a sequence pair.
+type Packing struct {
+	X, Y   []int
+	Width  int
+	Height int
+}
+
+// Pack computes the minimum-area placement realising the sequence pair for
+// the given blocks using the longest-weighted-common-subsequence method.
+// Complexity is O(n log n).
+func Pack(sp *SeqPair, blocks []Block) *Packing {
+	n := len(blocks)
+	if len(sp.Pos) != n || len(sp.Neg) != n {
+		panic("seqpair: sequence pair and block count mismatch")
+	}
+	p := &Packing{X: make([]int, n), Y: make([]int, n)}
+	if n == 0 {
+		return p
+	}
+
+	// X coordinates: weighted LCS of (Gamma+, Gamma-) with block widths.
+	posIndex := make([]int, n) // posIndex[block] = position of block in Gamma+
+	for i, b := range sp.Pos {
+		posIndex[b] = i
+	}
+	widths := func(b int) int { return blocks[b].W }
+	heights := func(b int) int { return blocks[b].H }
+
+	p.Width = lwcs(sp.Neg, posIndex, widths, p.X)
+
+	// Y coordinates: weighted LCS of (reverse Gamma+, Gamma-) with heights.
+	revIndex := make([]int, n)
+	for i, b := range sp.Pos {
+		revIndex[b] = n - 1 - i
+	}
+	p.Height = lwcs(sp.Neg, revIndex, heights, p.Y)
+	return p
+}
+
+// lwcs processes blocks in Gamma- order; for each block it looks up the best
+// accumulated length among blocks whose key (position in the other sequence)
+// is smaller, assigns that as the block coordinate, and records coordinate +
+// size at its key. A Fenwick tree over keys maintains prefix maxima.
+func lwcs(order []int, key []int, size func(int) int, coord []int) int {
+	n := len(order)
+	ft := newFenwickMax(n)
+	total := 0
+	for _, b := range order {
+		k := key[b]
+		start := 0
+		if k > 0 {
+			start = ft.prefixMax(k - 1)
+		}
+		coord[b] = start
+		end := start + size(b)
+		ft.update(k, end)
+		if end > total {
+			total = end
+		}
+	}
+	return total
+}
+
+// fenwickMax is a Fenwick tree over indices 0..n-1 supporting point updates
+// with max and prefix-max queries.
+type fenwickMax struct {
+	tree []int
+}
+
+func newFenwickMax(n int) *fenwickMax {
+	return &fenwickMax{tree: make([]int, n+1)}
+}
+
+func (f *fenwickMax) update(i, v int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		if f.tree[i] < v {
+			f.tree[i] = v
+		}
+	}
+}
+
+func (f *fenwickMax) prefixMax(i int) int {
+	best := 0
+	for i++; i > 0; i -= i & (-i) {
+		if f.tree[i] > best {
+			best = f.tree[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,215 @@
+package seqpair
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndValidate(t *testing.T) {
+	sp := New(4)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != 4 {
+		t.Errorf("Len = %d", sp.Len())
+	}
+	bad := &SeqPair{Pos: []int{0, 1}, Neg: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("length mismatch should fail validation")
+	}
+	bad = &SeqPair{Pos: []int{0, 0}, Neg: []int{0, 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-permutation should fail validation")
+	}
+	bad = &SeqPair{Pos: []int{0, 1}, Neg: []int{0, 5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range entry should fail validation")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	sp := New(3)
+	cl := sp.Clone()
+	cl.SwapPos(0, 1)
+	if sp.Pos[0] != 0 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestSwapBoth(t *testing.T) {
+	sp := &SeqPair{Pos: []int{2, 0, 1}, Neg: []int{1, 2, 0}}
+	sp.SwapBoth(0, 2)
+	wantPos := []int{0, 2, 1}
+	wantNeg := []int{1, 0, 2}
+	for i := range wantPos {
+		if sp.Pos[i] != wantPos[i] || sp.Neg[i] != wantNeg[i] {
+			t.Fatalf("SwapBoth: got %v/%v, want %v/%v", sp.Pos, sp.Neg, wantPos, wantNeg)
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackTwoBlocksHorizontal(t *testing.T) {
+	// Identity sequence pair: block 0 left of block 1.
+	sp := New(2)
+	blocks := []Block{{W: 10, H: 5}, {W: 7, H: 9}}
+	p := Pack(sp, blocks)
+	if p.X[0] != 0 || p.X[1] != 10 {
+		t.Errorf("X = %v, want [0 10]", p.X)
+	}
+	if p.Y[0] != 0 || p.Y[1] != 0 {
+		t.Errorf("Y = %v, want [0 0]", p.Y)
+	}
+	if p.Width != 17 || p.Height != 9 {
+		t.Errorf("bounding box = %dx%d, want 17x9", p.Width, p.Height)
+	}
+}
+
+func TestPackTwoBlocksVertical(t *testing.T) {
+	// (<1 0>, <0 1>): block 0 below block 1.
+	sp := &SeqPair{Pos: []int{1, 0}, Neg: []int{0, 1}}
+	blocks := []Block{{W: 10, H: 5}, {W: 7, H: 9}}
+	p := Pack(sp, blocks)
+	if p.X[0] != 0 || p.X[1] != 0 {
+		t.Errorf("X = %v, want [0 0]", p.X)
+	}
+	if p.Y[0] != 0 || p.Y[1] != 5 {
+		t.Errorf("Y = %v, want [0 5]", p.Y)
+	}
+	if p.Width != 10 || p.Height != 14 {
+		t.Errorf("bounding box = %dx%d, want 10x14", p.Width, p.Height)
+	}
+}
+
+func TestPackEmpty(t *testing.T) {
+	p := Pack(New(0), nil)
+	if p.Width != 0 || p.Height != 0 {
+		t.Error("empty packing should have zero size")
+	}
+}
+
+func TestPackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Pack(New(2), []Block{{1, 1}})
+}
+
+func TestPackThreeBlocksKnown(t *testing.T) {
+	// Gamma+ = <0 1 2>, Gamma- = <1 0 2>:
+	// 1 before 0 in Gamma-, after? 0 precedes 1 in Gamma+, 1 precedes 0 in
+	// Gamma- => 0 is above 1. 2 is after both in both sequences => right of
+	// both.
+	sp := &SeqPair{Pos: []int{0, 1, 2}, Neg: []int{1, 0, 2}}
+	blocks := []Block{{W: 4, H: 3}, {W: 6, H: 2}, {W: 5, H: 8}}
+	p := Pack(sp, blocks)
+	// Block 1 at origin, block 0 above it, block 2 to the right of both.
+	if p.Y[0] != 2 || p.Y[1] != 0 || p.Y[2] != 0 {
+		t.Errorf("Y = %v", p.Y)
+	}
+	if p.X[0] != 0 || p.X[1] != 0 || p.X[2] != 6 {
+		t.Errorf("X = %v", p.X)
+	}
+	if p.Width != 11 || p.Height != 8 {
+		t.Errorf("bounding box = %dx%d, want 11x8", p.Width, p.Height)
+	}
+}
+
+// overlap checks whether two placed blocks overlap (open intervals).
+func overlap(x1, y1 int, b1 Block, x2, y2 int, b2 Block) bool {
+	return x1 < x2+b2.W && x2 < x1+b1.W && y1 < y2+b2.H && y2 < y1+b1.H
+}
+
+// Property: packings derived from random sequence pairs are always
+// overlap-free, fit in the reported bounding box, and respect the
+// left-of/below-of semantics of the sequence pair.
+func TestPackNoOverlapsAndSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		blocks := make([]Block, n)
+		for i := range blocks {
+			blocks[i] = Block{W: 1 + rng.Intn(20), H: 1 + rng.Intn(20)}
+		}
+		sp := Random(n, rng)
+		if err := sp.Validate(); err != nil {
+			return false
+		}
+		p := Pack(sp, blocks)
+		posIdx := make([]int, n)
+		negIdx := make([]int, n)
+		for i, b := range sp.Pos {
+			posIdx[b] = i
+		}
+		for i, b := range sp.Neg {
+			negIdx[b] = i
+		}
+		for a := 0; a < n; a++ {
+			if p.X[a] < 0 || p.Y[a] < 0 || p.X[a]+blocks[a].W > p.Width || p.Y[a]+blocks[a].H > p.Height {
+				return false
+			}
+			for b := a + 1; b < n; b++ {
+				if overlap(p.X[a], p.Y[a], blocks[a], p.X[b], p.Y[b], blocks[b]) {
+					return false
+				}
+				// Semantics: a before b in both sequences => a entirely left of b.
+				if posIdx[a] < posIdx[b] && negIdx[a] < negIdx[b] && p.X[a]+blocks[a].W > p.X[b] {
+					return false
+				}
+				if posIdx[b] < posIdx[a] && negIdx[b] < negIdx[a] && p.X[b]+blocks[b].W > p.X[a] {
+					return false
+				}
+				// a after b in Gamma+ and before in Gamma- => a below b.
+				if posIdx[a] > posIdx[b] && negIdx[a] < negIdx[b] && p.Y[a]+blocks[a].H > p.Y[b] {
+					return false
+				}
+				if posIdx[b] > posIdx[a] && negIdx[b] < negIdx[a] && p.Y[b]+blocks[b].H > p.Y[a] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bounding box area is at least the total block area.
+func TestPackAreaLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		blocks := make([]Block, n)
+		area := 0
+		for i := range blocks {
+			blocks[i] = Block{W: 1 + rng.Intn(15), H: 1 + rng.Intn(15)}
+			area += blocks[i].W * blocks[i].H
+		}
+		sp := Random(n, rng)
+		p := Pack(sp, blocks)
+		return p.Width*p.Height >= area
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPack200Blocks(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	blocks := make([]Block, n)
+	for i := range blocks {
+		blocks[i] = Block{W: 1 + rng.Intn(60), H: 1 + rng.Intn(60)}
+	}
+	sp := Random(n, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pack(sp, blocks)
+	}
+}

@@ -1,0 +1,390 @@
+// Package twod implements the E-BLOW planner for the 2DOSP problem (Fig. 9
+// of the paper): a profit pre-filter, KD-tree based clustering of character
+// candidates with similar geometry and profit (Algorithm 4), and a
+// simulated-annealing fixed-outline floorplanner over the clustered blocks
+// (sequence pair representation). After annealing, clusters are expanded
+// back into their member characters and the placement is legalised with the
+// exact pairwise blank-sharing rule.
+package twod
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"eblow/internal/core"
+	"eblow/internal/floorsa"
+	"eblow/internal/kdtree"
+	"eblow/internal/pack2d"
+)
+
+// Options configures the E-BLOW 2D planner. The zero value is completed with
+// the paper's settings (similarity bound 0.2).
+type Options struct {
+	// SimilarityBound is the relative difference allowed by the clustering
+	// similarity test of Eqn. (8); the paper uses 0.2.
+	SimilarityBound float64
+	// PreFilterFactor keeps PreFilterFactor * (stencil area / average
+	// character area) candidates before clustering; 0 means 2.5.
+	PreFilterFactor float64
+	// MaxClusterMembers bounds how many characters one cluster may absorb.
+	MaxClusterMembers int
+	// MoveBudget is the annealing move budget (0 = automatic).
+	MoveBudget int
+	// Seed seeds the annealer.
+	Seed int64
+	// TimeLimit bounds the annealing run (0 = no limit).
+	TimeLimit time.Duration
+
+	// EnableClustering and EnablePreFilter exist for the ablation benches;
+	// the E-BLOW flow keeps both enabled.
+	DisableClustering bool
+	DisablePreFilter  bool
+}
+
+// Defaults returns the paper's parameter settings.
+func Defaults() Options {
+	return Options{
+		SimilarityBound:   0.2,
+		PreFilterFactor:   2.5,
+		MaxClusterMembers: 3,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.SimilarityBound <= 0 {
+		o.SimilarityBound = d.SimilarityBound
+	}
+	if o.PreFilterFactor <= 0 {
+		o.PreFilterFactor = d.PreFilterFactor
+	}
+	if o.MaxClusterMembers <= 0 {
+		o.MaxClusterMembers = d.MaxClusterMembers
+	}
+	return o
+}
+
+// cluster is a group of characters packed side by side that the annealer
+// treats as one block.
+type cluster struct {
+	block   pack2d.Block
+	members []int // character ids
+	offsets [][2]int
+	profit  float64
+	reds    []int64
+}
+
+// Stats reports what the clustering stage did; exposed for tests and the
+// benchmark harness.
+type Stats struct {
+	Candidates    int
+	AfterFilter   int
+	Clusters      int
+	ClusteredAway int
+}
+
+// Solve runs the E-BLOW 2D flow and returns the stencil plan plus clustering
+// statistics.
+func Solve(in *core.Instance, opt Options) (*core.Solution, *Stats, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.Kind != core.TwoD {
+		return nil, nil, fmt.Errorf("twod: instance %q is not a 2DOSP instance", in.Name)
+	}
+	opt = opt.withDefaults()
+	stats := &Stats{Candidates: in.NumCharacters()}
+
+	profits := in.StaticProfits()
+
+	// Pre-filter: keep the most profitable candidates, bounded by a factor
+	// of the estimated stencil capacity.
+	ids := candidateIDs(in)
+	if !opt.DisablePreFilter {
+		ids = preFilter(in, ids, profits, opt.PreFilterFactor)
+	}
+	stats.AfterFilter = len(ids)
+
+	// Clustering (Algorithm 4).
+	clusters := buildClusters(in, ids, profits, opt, stats)
+	stats.Clusters = len(clusters)
+	stats.ClusteredAway = stats.AfterFilter - len(clusters)
+
+	// Annealing over the clustered blocks with the MCC (max) objective.
+	blocks := make([]floorsa.Block, len(clusters))
+	for k, cl := range clusters {
+		blocks[k] = floorsa.Block{Block: cl.block, Reductions: cl.reds}
+	}
+	vsb := in.VSBTime()
+	res := floorsa.Pack(blocks, vsb, in.StencilWidth, in.StencilHeight, floorsa.Options{
+		MoveBudget: opt.MoveBudget,
+		Seed:       opt.Seed,
+		TimeLimit:  opt.TimeLimit,
+	})
+
+	// Clustering occasionally costs more stencil area than it saves in
+	// search effort; evaluate the plain per-character shelf floorplan as a
+	// fallback and keep whichever selection writes faster.
+	charBlocks := make([]floorsa.Block, len(ids))
+	for k, id := range ids {
+		c := in.Characters[id]
+		reds := make([]int64, in.NumRegions)
+		for r := range reds {
+			reds[r] = in.Reduction(id, r)
+		}
+		charBlocks[k] = floorsa.Block{
+			Block: pack2d.Block{
+				W: c.Width, H: c.Height,
+				BlankL: c.BlankLeft, BlankR: c.BlankRight,
+				BlankT: c.BlankTop, BlankB: c.BlankBottom,
+			},
+			Reductions: reds,
+		}
+	}
+	fallback := floorsa.Pack(charBlocks, vsb, in.StencilWidth, in.StencilHeight, floorsa.Options{
+		Seed:       opt.Seed,
+		SkipAnneal: true,
+	})
+
+	sol := &core.Solution{Selected: make([]bool, in.NumCharacters())}
+	if res.WritingTime <= fallback.WritingTime {
+		// Expand clusters back into characters.
+		for k, cl := range clusters {
+			if !res.Inside[k] {
+				continue
+			}
+			for mi, id := range cl.members {
+				sol.Selected[id] = true
+				sol.Placements = append(sol.Placements, core.Placement{
+					Char: id,
+					X:    res.X[k] + cl.offsets[mi][0],
+					Y:    res.Y[k] + cl.offsets[mi][1],
+				})
+			}
+		}
+	} else {
+		for k, id := range ids {
+			if !fallback.Inside[k] {
+				continue
+			}
+			sol.Selected[id] = true
+			sol.Placements = append(sol.Placements, core.Placement{Char: id, X: fallback.X[k], Y: fallback.Y[k]})
+		}
+	}
+	sol.Finalize(in, "E-BLOW-2D", time.Since(start))
+	return sol, stats, nil
+}
+
+func candidateIDs(in *core.Instance) []int {
+	var ids []int
+	for i, c := range in.Characters {
+		if c.Width <= in.StencilWidth && c.Height <= in.StencilHeight {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// preFilter keeps the top candidates by profit per area.
+func preFilter(in *core.Instance, ids []int, profits []float64, factor float64) []int {
+	if len(ids) == 0 {
+		return ids
+	}
+	var totalArea int64
+	for _, i := range ids {
+		totalArea += int64(in.Characters[i].Width) * int64(in.Characters[i].Height)
+	}
+	avgArea := float64(totalArea) / float64(len(ids))
+	limit := int(factor * float64(in.StencilWidth) * float64(in.StencilHeight) / avgArea)
+	if limit < 1 {
+		limit = 1
+	}
+	if limit >= len(ids) {
+		return ids
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Slice(sorted, func(a, b int) bool {
+		da := profits[sorted[a]] / float64(in.Characters[sorted[a]].Width*in.Characters[sorted[a]].Height)
+		db := profits[sorted[b]] / float64(in.Characters[sorted[b]].Width*in.Characters[sorted[b]].Height)
+		if da != db {
+			return da > db
+		}
+		return sorted[a] < sorted[b]
+	})
+	return sorted[:limit]
+}
+
+// feature embeds a character into the 5-dimensional space used by the
+// similarity test: width, height, horizontal blank, vertical blank, profit.
+func feature(in *core.Instance, profits []float64, id int) kdtree.Point {
+	c := in.Characters[id]
+	return kdtree.Point{
+		float64(c.Width),
+		float64(c.Height),
+		float64(c.BlankLeft+c.BlankRight) / 2,
+		float64(c.BlankTop+c.BlankBottom) / 2,
+		profits[id],
+	}
+}
+
+// similar implements the similarity condition (8) of the paper: relative
+// differences in size, blanks and profit are all within the bound.
+func similar(in *core.Instance, profits []float64, i, j int, bound float64) bool {
+	a, b := in.Characters[i], in.Characters[j]
+	relOK := func(x, y float64) bool {
+		if y == 0 {
+			return x == 0
+		}
+		return math.Abs(x-y)/math.Abs(y) <= bound
+	}
+	if !relOK(float64(a.Width), float64(b.Width)) || !relOK(float64(a.Height), float64(b.Height)) {
+		return false
+	}
+	sha := float64(a.BlankLeft+a.BlankRight) / 2
+	shb := float64(b.BlankLeft+b.BlankRight) / 2
+	sva := float64(a.BlankTop+a.BlankBottom) / 2
+	svb := float64(b.BlankTop+b.BlankBottom) / 2
+	if !relOK(sha, shb) || !relOK(sva, svb) {
+		return false
+	}
+	return relOK(profits[i], profits[j])
+}
+
+// buildClusters runs Algorithm 4: candidates sorted by profit repeatedly
+// absorb similar unclustered candidates found through KD-tree range queries.
+func buildClusters(in *core.Instance, ids []int, profits []float64, opt Options, stats *Stats) []cluster {
+	clusters := make([]cluster, 0, len(ids))
+	if opt.DisableClustering {
+		for _, id := range ids {
+			clusters = append(clusters, singletonCluster(in, profits, id))
+		}
+		return clusters
+	}
+
+	sorted := append([]int(nil), ids...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if profits[sorted[a]] != profits[sorted[b]] {
+			return profits[sorted[a]] > profits[sorted[b]]
+		}
+		return sorted[a] < sorted[b]
+	})
+
+	// KD-tree over the feature vectors of all unclustered candidates.
+	points := make([]kdtree.Point, len(sorted))
+	for k, id := range sorted {
+		points[k] = feature(in, profits, id)
+	}
+	tree := kdtree.Build(5, points, sorted)
+
+	clustered := make(map[int]bool, len(sorted))
+
+	for _, id := range sorted {
+		if clustered[id] {
+			continue
+		}
+		cl := singletonCluster(in, profits, id)
+		clustered[id] = true
+		tree.Delete(id)
+		// Grow the cluster while similar unclustered candidates exist.
+		for len(cl.members) < opt.MaxClusterMembers {
+			f := feature(in, profits, id)
+			lo := make(kdtree.Point, len(f))
+			hi := make(kdtree.Point, len(f))
+			for d := range f {
+				delta := math.Abs(f[d]) * opt.SimilarityBound
+				lo[d], hi[d] = f[d]-delta, f[d]+delta
+			}
+			found := -1
+			for _, cand := range tree.Range(lo, hi) {
+				if !clustered[cand] && similar(in, profits, id, cand, opt.SimilarityBound) &&
+					absorb(in, profits, &cl, cand) {
+					found = cand
+					break
+				}
+			}
+			if found < 0 {
+				break
+			}
+			clustered[found] = true
+			tree.Delete(found)
+		}
+		clusters = append(clusters, cl)
+	}
+	return clusters
+}
+
+func singletonCluster(in *core.Instance, profits []float64, id int) cluster {
+	c := in.Characters[id]
+	reds := make([]int64, in.NumRegions)
+	for r := range reds {
+		reds[r] = in.Reduction(id, r)
+	}
+	return cluster{
+		block: pack2d.Block{
+			W: c.Width, H: c.Height,
+			BlankL: c.BlankLeft, BlankR: c.BlankRight,
+			BlankT: c.BlankTop, BlankB: c.BlankBottom,
+		},
+		members: []int{id},
+		offsets: [][2]int{{0, 0}},
+		profit:  profits[id],
+		reds:    reds,
+	}
+}
+
+// absorb merges character id into the cluster, choosing the orientation
+// (horizontal or vertical stacking) that wastes less bounding-box area. It
+// reports whether the merge happened: merges that would waste more than a
+// few percent of the combined area are rejected, because a padded cluster
+// block squanders stencil space the annealer can never recover.
+//
+// Blank margins of the merged block: the side along the merge direction
+// keeps the outer member's exact blank (only that member touches the edge);
+// the perpendicular sides take the minimum over both members, which keeps
+// every later sharing decision with a neighbouring block conservative and
+// therefore legal.
+func absorb(in *core.Instance, profits []float64, cl *cluster, id int) bool {
+	c := in.Characters[id]
+
+	hShare := min(cl.block.BlankR, c.BlankLeft)
+	hW := cl.block.W + c.Width - hShare
+	hH := max(cl.block.H, c.Height)
+
+	vShare := min(cl.block.BlankT, c.BlankBottom)
+	vW := max(cl.block.W, c.Width)
+	vH := cl.block.H + c.Height - vShare
+
+	memberArea := cl.block.W*cl.block.H + c.Width*c.Height
+	horizontal := hW*hH <= vW*vH
+	mergedArea := vW * vH
+	if horizontal {
+		mergedArea = hW * hH
+	}
+	const maxWasteFraction = 0.06
+	if float64(mergedArea-memberArea) > maxWasteFraction*float64(mergedArea) {
+		return false
+	}
+
+	if horizontal {
+		cl.offsets = append(cl.offsets, [2]int{cl.block.W - hShare, 0})
+		cl.block.W, cl.block.H = hW, hH
+		cl.block.BlankR = c.BlankRight
+		cl.block.BlankT = min(cl.block.BlankT, c.BlankTop)
+		cl.block.BlankB = min(cl.block.BlankB, c.BlankBottom)
+	} else {
+		cl.offsets = append(cl.offsets, [2]int{0, cl.block.H - vShare})
+		cl.block.W, cl.block.H = vW, vH
+		cl.block.BlankT = c.BlankTop
+		cl.block.BlankL = min(cl.block.BlankL, c.BlankLeft)
+		cl.block.BlankR = min(cl.block.BlankR, c.BlankRight)
+	}
+	cl.members = append(cl.members, id)
+	cl.profit += profits[id]
+	for r := range cl.reds {
+		cl.reds[r] += in.Reduction(id, r)
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package twod
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eblow/internal/core"
+	"eblow/internal/gen"
+)
+
+func TestSolveSmall2D(t *testing.T) {
+	in := gen.Small(core.TwoD, 60, 2, 5)
+	sol, stats, err := Solve(in, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	if sol.NumSelected() == 0 {
+		t.Error("nothing selected")
+	}
+	if stats.Candidates != 60 || stats.AfterFilter == 0 || stats.Clusters == 0 {
+		t.Errorf("odd stats: %+v", stats)
+	}
+	empty := in.WritingTime(make([]bool, in.NumCharacters()))
+	if sol.WritingTime >= empty {
+		t.Errorf("no improvement over pure VSB: %d >= %d", sol.WritingTime, empty)
+	}
+	if sol.Algorithm != "E-BLOW-2D" {
+		t.Errorf("algorithm %q", sol.Algorithm)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	if _, _, err := Solve(&core.Instance{}, Defaults()); err == nil {
+		t.Error("empty instance accepted")
+	}
+	in1d := gen.Small(core.OneD, 20, 1, 3)
+	if _, _, err := Solve(in1d, Defaults()); err == nil {
+		t.Error("1D instance accepted by 2D planner")
+	}
+}
+
+func TestClusteringReducesBlockCount(t *testing.T) {
+	in := gen.Small(core.TwoD, 120, 2, 9)
+	_, with, err := Solve(in, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.DisableClustering = true
+	_, without, err := Solve(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Clusters >= without.Clusters {
+		t.Errorf("clustering did not reduce block count: %d vs %d", with.Clusters, without.Clusters)
+	}
+	if with.ClusteredAway == 0 {
+		t.Error("no characters were clustered")
+	}
+}
+
+func TestPreFilterLimitsCandidates(t *testing.T) {
+	in := gen.Small(core.TwoD, 200, 2, 13)
+	opt := Defaults()
+	opt.PreFilterFactor = 0.5
+	_, stats, err := Solve(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AfterFilter >= stats.Candidates {
+		t.Errorf("pre-filter kept everything: %+v", stats)
+	}
+	opt.DisablePreFilter = true
+	_, stats2, err := Solve(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.AfterFilter != stats2.Candidates {
+		t.Errorf("disabled pre-filter still filtered: %+v", stats2)
+	}
+}
+
+func TestSimilarRespectsBound(t *testing.T) {
+	in := &core.Instance{
+		Kind: core.TwoD, StencilWidth: 500, StencilHeight: 500, NumRegions: 1,
+		Characters: []core.Character{
+			{ID: 0, Width: 40, Height: 40, BlankLeft: 5, BlankRight: 5, BlankTop: 5, BlankBottom: 5, VSBShots: 10, Repeats: []int64{10}},
+			{ID: 1, Width: 42, Height: 41, BlankLeft: 5, BlankRight: 5, BlankTop: 4, BlankBottom: 5, VSBShots: 10, Repeats: []int64{11}},
+			{ID: 2, Width: 80, Height: 40, BlankLeft: 5, BlankRight: 5, BlankTop: 5, BlankBottom: 5, VSBShots: 10, Repeats: []int64{10}},
+			{ID: 3, Width: 40, Height: 40, BlankLeft: 5, BlankRight: 5, BlankTop: 5, BlankBottom: 5, VSBShots: 10, Repeats: []int64{100}},
+		},
+	}
+	profits := in.StaticProfits()
+	if !similar(in, profits, 0, 1, 0.2) {
+		t.Error("near-identical characters should be similar")
+	}
+	if similar(in, profits, 0, 2, 0.2) {
+		t.Error("characters with very different widths should not be similar")
+	}
+	if similar(in, profits, 0, 3, 0.2) {
+		t.Error("characters with very different profits should not be similar")
+	}
+}
+
+func TestAbsorbKeepsMemberGeometryLegal(t *testing.T) {
+	in := &core.Instance{
+		Kind: core.TwoD, StencilWidth: 1000, StencilHeight: 1000, NumRegions: 2,
+	}
+	for i := 0; i < 3; i++ {
+		in.Characters = append(in.Characters, core.Character{
+			ID: i, Width: 40, Height: 42, BlankLeft: 5, BlankRight: 6, BlankTop: 4, BlankBottom: 5,
+			VSBShots: 9, Repeats: []int64{int64(3 + i), int64(2 * i)},
+		})
+	}
+	profits := in.StaticProfits()
+	cl := singletonCluster(in, profits, 0)
+	if !absorb(in, profits, &cl, 1) || !absorb(in, profits, &cl, 2) {
+		t.Fatal("merging identical characters must succeed")
+	}
+	if len(cl.members) != 3 || len(cl.offsets) != 3 {
+		t.Fatalf("cluster bookkeeping wrong: %+v", cl)
+	}
+	// Members placed at their offsets (cluster at the origin) must form a
+	// legal 2D placement.
+	sol := &core.Solution{Selected: make([]bool, in.NumCharacters())}
+	for mi, id := range cl.members {
+		sol.Selected[id] = true
+		sol.Placements = append(sol.Placements, core.Placement{Char: id, X: cl.offsets[mi][0], Y: cl.offsets[mi][1]})
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Errorf("cluster members overlap illegally: %v", err)
+	}
+	// Cluster reductions must be the sum of member reductions.
+	for r := 0; r < in.NumRegions; r++ {
+		var want int64
+		for _, id := range cl.members {
+			want += in.Reduction(id, r)
+		}
+		if cl.reds[r] != want {
+			t.Errorf("cluster reductions wrong in region %d", r)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	d := o.withDefaults()
+	if d.SimilarityBound != 0.2 || d.PreFilterFactor != 2.5 || d.MaxClusterMembers != 3 {
+		t.Errorf("defaults: %+v", d)
+	}
+	custom := Options{SimilarityBound: 0.5}
+	if custom.withDefaults().SimilarityBound != 0.5 {
+		t.Error("explicit bound overridden")
+	}
+}
+
+// Property: solutions are always valid and never worse than the empty
+// stencil, across random small instances.
+func TestSolveAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		in := gen.Small(core.TwoD, 40, 3, seed)
+		opt := Defaults()
+		opt.MoveBudget = 3000
+		opt.Seed = seed
+		sol, _, err := Solve(in, opt)
+		if err != nil {
+			return false
+		}
+		if err := sol.Validate(in); err != nil {
+			return false
+		}
+		return sol.WritingTime <= in.WritingTime(make([]bool, in.NumCharacters()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
