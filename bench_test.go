@@ -7,6 +7,7 @@ package eblow
 // so `go test -bench . -benchmem` reproduces the full evaluation.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func benchConfig() report.Config {
 // and runtime for Greedy, [24], [25] and E-BLOW on 1D-1..4 and 1M-1..8.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := report.Table3(report.Table3Cases(), benchConfig())
+		rows, err := report.Table3(context.Background(), report.Table3Cases(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func BenchmarkTable3(b *testing.B) {
 // and runtime for Greedy, [24] and E-BLOW on 2D-1..4 and 2M-1..8.
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := report.Table4(report.Table4Cases(), benchConfig())
+		rows, err := report.Table4(context.Background(), report.Table4Cases(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkTable4(b *testing.B) {
 // E-BLOW on the tiny 1T/2T cases.
 func BenchmarkTable5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := report.Table5(benchConfig())
+		rows, err := report.Table5(context.Background(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkTable5(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	cases := []string{"1M-1", "1M-2", "1M-3", "1M-4"}
 	for i := 0; i < b.N; i++ {
-		data, err := report.Fig5(cases)
+		data, err := report.Fig5(context.Background(), cases, benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func BenchmarkFig5(b *testing.B) {
 // rounding iteration of 1M-1.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hist, err := report.Fig6("1M-1")
+		hist, err := report.Fig6(context.Background(), "1M-1", benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig11And12(b *testing.B) {
 	cases := report.Table3Cases()
 	for i := 0; i < b.N; i++ {
-		rows, err := report.Ablation(cases)
+		rows, err := report.Ablation(context.Background(), cases, benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func BenchmarkAblationThinv(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := oned.Defaults()
 				opt.Thinv = thinv
-				sol, _, err := oned.Solve(in, opt)
+				sol, _, err := oned.Solve(context.Background(), in, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -141,7 +142,7 @@ func BenchmarkAblationConvergence(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := oned.Defaults()
 				opt.EnableFastConvergence = enabled
-				sol, _, err := oned.Solve(in, opt)
+				sol, _, err := oned.Solve(context.Background(), in, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -162,7 +163,7 @@ func BenchmarkAblationPrune(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := oned.Defaults()
 				opt.PruneThreshold = prune
-				sol, _, err := oned.Solve(in, opt)
+				sol, _, err := oned.Solve(context.Background(), in, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -184,7 +185,7 @@ func BenchmarkAblationClusterBound(b *testing.B) {
 				opt := twod.Defaults()
 				opt.SimilarityBound = bound
 				opt.TimeLimit = 5 * time.Second
-				sol, stats, err := twod.Solve(in, opt)
+				sol, stats, err := twod.Solve(context.Background(), in, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -204,7 +205,7 @@ func BenchmarkAblationLPBackend(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := oned.Defaults()
 				opt.Backend = backend
-				sol, _, err := oned.Solve(in, opt)
+				sol, _, err := oned.Solve(context.Background(), in, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -223,7 +224,7 @@ func BenchmarkEBlow1DLarge(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Solve1D(in, Defaults1D()); err != nil {
+		if _, _, err := Solve1D(context.Background(), in, Defaults1D()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,22 +1,27 @@
 // Command eblow plans an e-beam stencil for one OSP instance. The instance
 // either comes from a JSON file (see cmd/ospgen) or is one of the named
 // synthetic benchmarks; the planner is E-BLOW by default, with the
-// prior-work baselines and the exact ILP available for comparison.
+// prior-work baselines, the exact ILP and a parallel portfolio race of all
+// of them available for comparison.
 //
 // Examples:
 //
 //	eblow -benchmark 1M-2
 //	eblow -instance design.json -algorithm greedy
 //	eblow -benchmark 1T-3 -algorithm exact -timeout 30s
+//	eblow -benchmark 2D-1 -algorithm portfolio -timeout 10s -workers 8
 //	eblow -benchmark 2D-1 -out plan.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"eblow"
@@ -29,9 +34,11 @@ func main() {
 	var (
 		instancePath = flag.String("instance", "", "path to an instance JSON file")
 		benchmark    = flag.String("benchmark", "", "name of a built-in benchmark (e.g. 1M-2); see cmd/ospgen -list")
-		algorithm    = flag.String("algorithm", "eblow", "planner: eblow, greedy, heuristic24, row25, exact")
-		timeout      = flag.Duration("timeout", 30*time.Second, "time limit for exact / annealing planners")
+		algorithm    = flag.String("algorithm", "eblow", "planner: eblow, greedy, heuristic24, row25, exact, portfolio")
+		timeout      = flag.Duration("timeout", 30*time.Second, "time limit for exact / annealing / portfolio planners")
 		seed         = flag.Int64("seed", 1, "seed for randomized planners")
+		workers      = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel solver stages (results are worker-count independent unless -timeout truncates an annealing run)")
+		restarts     = flag.Int("restarts", 1, "independent annealing restarts for the SA-based planners (best-of wins)")
 		outPath      = flag.String("out", "", "write the resulting stencil plan as JSON to this file")
 	)
 	flag.Parse()
@@ -41,7 +48,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sol, err := run(in, *algorithm, *seed, *timeout)
+	// Ctrl-C cancels the planner instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sol, err := run(ctx, in, *algorithm, *seed, *workers, *restarts, *timeout)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,18 +92,35 @@ func loadInstance(path, benchmark string) (*eblow.Instance, error) {
 	}
 }
 
-func run(in *eblow.Instance, algorithm string, seed int64, timeout time.Duration) (*eblow.Solution, error) {
+func run(ctx context.Context, in *eblow.Instance, algorithm string, seed int64, workers, restarts int, timeout time.Duration) (*eblow.Solution, error) {
 	switch algorithm {
 	case "eblow":
 		if in.Kind == eblow.OneD {
-			sol, _, err := eblow.Solve1D(in, eblow.Defaults1D())
+			opt := eblow.Defaults1D()
+			opt.Workers = workers
+			sol, _, err := eblow.Solve1D(ctx, in, opt)
 			return sol, err
 		}
 		opt := eblow.Defaults2D()
 		opt.Seed = seed
 		opt.TimeLimit = timeout
-		sol, _, err := eblow.Solve2D(in, opt)
+		opt.Workers = workers
+		opt.Restarts = restarts
+		sol, _, err := eblow.Solve2D(ctx, in, opt)
 		return sol, err
+	case "portfolio":
+		res, err := eblow.SolvePortfolio(ctx, in, eblow.PortfolioOptions{
+			Workers:  workers,
+			Timeout:  timeout,
+			Seed:     seed,
+			Restarts: restarts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("portfolio     : %s won among %s (race took %s)\n",
+			res.Winner, eblow.PortfolioStrategies(in.Kind), res.Elapsed.Round(time.Millisecond))
+		return res.Best, nil
 	case "greedy":
 		if in.Kind == eblow.OneD {
 			return eblow.Greedy1D(in)
@@ -100,9 +128,9 @@ func run(in *eblow.Instance, algorithm string, seed int64, timeout time.Duration
 		return eblow.Greedy2D(in)
 	case "heuristic24":
 		if in.Kind == eblow.OneD {
-			return eblow.Heuristic1D(in, seed)
+			return eblow.Heuristic1D(ctx, in, seed)
 		}
-		return eblow.AnnealedBaseline2D(in, seed, timeout)
+		return eblow.AnnealedBaseline2D(ctx, in, seed, timeout)
 	case "row25":
 		if in.Kind != eblow.OneD {
 			return nil, fmt.Errorf("row25 only applies to 1DOSP instances")
@@ -112,9 +140,9 @@ func run(in *eblow.Instance, algorithm string, seed int64, timeout time.Duration
 		var res *eblow.ExactResult
 		var err error
 		if in.Kind == eblow.OneD {
-			res, err = eblow.Exact1D(in, timeout)
+			res, err = eblow.Exact1D(ctx, in, timeout)
 		} else {
-			res, err = eblow.Exact2D(in, timeout)
+			res, err = eblow.Exact2D(ctx, in, timeout)
 		}
 		if err != nil {
 			return nil, err

@@ -1,5 +1,6 @@
 // Command ospbench regenerates the tables and figures of the E-BLOW paper's
-// evaluation section on the synthetic benchmark suite.
+// evaluation section on the synthetic benchmark suite, and measures the
+// parallel portfolio race.
 //
 // Examples:
 //
@@ -8,15 +9,21 @@
 //	ospbench -table 5 -exact-time 30s
 //	ospbench -figure 5
 //	ospbench -figure 11
+//	ospbench -portfolio 2D-1 -timeout 20s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
+	"eblow"
 	"eblow/internal/report"
 )
 
@@ -27,15 +34,25 @@ func main() {
 	var (
 		table     = flag.Int("table", 0, "table to regenerate: 3, 4 or 5")
 		figure    = flag.Int("figure", 0, "figure to regenerate: 5, 6, 11 or 12")
+		portfolio = flag.String("portfolio", "", "race the solver portfolio on this benchmark case (e.g. 2D-1), once with 1 worker and once with -workers, and report both wall-clock times")
 		cases     = flag.String("cases", "", "comma-separated case list (default: the paper's cases)")
 		seed      = flag.Int64("seed", 1, "seed for randomized planners")
+		workers   = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel solver stages")
+		restarts  = flag.Int("restarts", 2, "annealing restarts for the portfolio race")
+		timeout   = flag.Duration("timeout", 30*time.Second, "deadline for each portfolio race")
 		saTime    = flag.Duration("sa-time", 20*time.Second, "time limit per case for the prior-work 2D annealer")
 		eblowTime = flag.Duration("eblow-time", 10*time.Second, "time limit per case for the E-BLOW 2D annealer")
 		exactTime = flag.Duration("exact-time", 20*time.Second, "time limit per case for the exact ILP (Table 5)")
 	)
 	flag.Parse()
 
-	cfg := report.Config{Seed: *seed, SATimeLimit: *saTime, EBlow2DTimeLimit: *eblowTime, ExactTimeLimit: *exactTime}
+	cfg := report.Config{
+		Seed: *seed, SATimeLimit: *saTime, EBlow2DTimeLimit: *eblowTime,
+		ExactTimeLimit: *exactTime, Workers: *workers,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	caseList := func(def []string) []string {
 		if *cases == "" {
@@ -45,34 +62,96 @@ func main() {
 	}
 
 	switch {
+	case *portfolio != "":
+		fail(racePortfolio(ctx, *portfolio, *workers, *restarts, *seed, *timeout))
 	case *table == 3:
-		rows, err := report.Table3(caseList(report.Table3Cases()), cfg)
+		rows, err := report.Table3(ctx, caseList(report.Table3Cases()), cfg)
 		fail(err)
 		fmt.Print(report.FormatRows("Table 3 (1DOSP): Greedy / [24] / [25] / E-BLOW", rows))
 	case *table == 4:
-		rows, err := report.Table4(caseList(report.Table4Cases()), cfg)
+		rows, err := report.Table4(ctx, caseList(report.Table4Cases()), cfg)
 		fail(err)
 		fmt.Print(report.FormatRows("Table 4 (2DOSP): Greedy / [24] / E-BLOW", rows))
 	case *table == 5:
-		rows, err := report.Table5(cfg)
+		rows, err := report.Table5(ctx, cfg)
 		fail(err)
 		fmt.Print(report.FormatRows("Table 5: exact ILP vs E-BLOW", rows))
 	case *figure == 5:
-		data, err := report.Fig5(caseList([]string{"1M-1", "1M-2", "1M-3", "1M-4"}))
+		data, err := report.Fig5(ctx, caseList([]string{"1M-1", "1M-2", "1M-3", "1M-4"}), cfg)
 		fail(err)
 		fmt.Print(report.FormatFig5(data))
 	case *figure == 6:
 		names := caseList([]string{"1M-1"})
-		hist, err := report.Fig6(names[0])
+		hist, err := report.Fig6(ctx, names[0], cfg)
 		fail(err)
 		fmt.Print(report.FormatFig6(names[0], hist))
 	case *figure == 11, *figure == 12:
-		rows, err := report.Ablation(caseList(report.Table3Cases()))
+		rows, err := report.Ablation(ctx, caseList(report.Table3Cases()), cfg)
 		fail(err)
 		fmt.Print(report.FormatAblation(rows))
 	default:
-		log.Fatal("specify -table 3|4|5 or -figure 5|6|11|12")
+		log.Fatal("specify -table 3|4|5, -figure 5|6|11|12 or -portfolio <case>")
 	}
+}
+
+// racePortfolio runs the same seeded portfolio race twice — once on a
+// single worker and once on the requested worker count — and reports both
+// wall-clock times plus the (identical) winning plans, demonstrating the
+// parallel speedup without changing the result.
+func racePortfolio(ctx context.Context, caseName string, workers, restarts int, seed int64, timeout time.Duration) error {
+	in, err := eblow.Benchmark(caseName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("portfolio race on %s (%s, %d characters, %d regions), strategies %v, deadline %s\n",
+		in.Name, in.Kind, in.NumCharacters(), in.NumRegions, eblow.PortfolioStrategies(in.Kind), timeout)
+
+	type outcome struct {
+		workers int
+		res     *eblow.PortfolioResult
+	}
+	runsAt := []int{1, workers}
+	if workers <= 1 {
+		runsAt = runsAt[:1] // nothing to compare against
+	}
+	var outcomes []outcome
+	for _, w := range runsAt {
+		res, err := eblow.SolvePortfolio(ctx, in, eblow.PortfolioOptions{
+			Workers: w, Timeout: timeout, Seed: seed, Restarts: restarts,
+		})
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		outcomes = append(outcomes, outcome{w, res})
+		fmt.Printf("workers=%-3d wall %-10s winner %-12s T=%d chars=%d\n",
+			w, res.Elapsed.Round(time.Millisecond), res.Winner,
+			res.Best.WritingTime, res.Best.NumSelected())
+		for _, r := range res.Runs {
+			status := fmt.Sprintf("T=%d", int64OrNA(r))
+			if r.Err != nil {
+				status = fmt.Sprintf("dropped (%v)", r.Err)
+			}
+			fmt.Printf("  %-12s %-10s %s\n", r.Name, r.Elapsed.Round(time.Millisecond), status)
+		}
+	}
+	if len(outcomes) == 2 && outcomes[1].workers > 1 {
+		a, b := outcomes[0].res, outcomes[1].res
+		fmt.Printf("speedup: %.2fx (%s -> %s)", a.Elapsed.Seconds()/b.Elapsed.Seconds(),
+			a.Elapsed.Round(time.Millisecond), b.Elapsed.Round(time.Millisecond))
+		if a.Best.WritingTime == b.Best.WritingTime && a.Winner == b.Winner {
+			fmt.Printf(", identical result either way\n")
+		} else {
+			fmt.Printf(", results differ (deadline cut strategies off)\n")
+		}
+	}
+	return nil
+}
+
+func int64OrNA(r eblow.PortfolioRun) int64 {
+	if r.Solution == nil {
+		return -1
+	}
+	return r.Solution.WritingTime
 }
 
 func fail(err error) {

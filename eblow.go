@@ -12,6 +12,8 @@
 //     convergence, DP row refinement, post-swap/insertion).
 //   - Solve2D runs the E-BLOW 2DOSP planner (pre-filter, KD-tree clustering,
 //     sequence-pair simulated annealing).
+//   - SolvePortfolio races E-BLOW against the baselines on a worker pool
+//     under one deadline and returns the best feasible plan found.
 //   - Exact1D / Exact2D solve the full ILP formulations with branch and bound
 //     (only sensible for tiny instances).
 //   - Greedy1D, Heuristic1D, RowHeuristic1D, Greedy2D, AnnealedBaseline2D are
@@ -22,6 +24,7 @@
 package eblow
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -32,6 +35,7 @@ import (
 	"eblow/internal/exact"
 	"eblow/internal/gen"
 	"eblow/internal/oned"
+	"eblow/internal/portfolio"
 	"eblow/internal/twod"
 )
 
@@ -82,47 +86,79 @@ func Defaults1D() Options1D { return oned.Defaults() }
 // Defaults2D returns the paper's parameter settings for the 2D planner.
 func Defaults2D() Options2D { return twod.Defaults() }
 
-// Solve1D plans the stencil of a 1DOSP instance with E-BLOW.
-func Solve1D(in *Instance, opt Options1D) (*Solution, *Trace1D, error) {
-	return oned.Solve(in, opt)
+// PortfolioOptions configures SolvePortfolio; the zero value races every
+// applicable strategy with one worker per CPU and no deadline.
+type PortfolioOptions = portfolio.Options
+
+// PortfolioResult is the outcome of a portfolio race: the best feasible
+// plan, the winning strategy, and every entrant's run record.
+type PortfolioResult = portfolio.Result
+
+// PortfolioRun is one strategy's outcome inside a portfolio race.
+type PortfolioRun = portfolio.Run
+
+// Solve1D plans the stencil of a 1DOSP instance with E-BLOW. The context
+// cancels the run: an already-done context returns ctx.Err() immediately
+// and a deadline stops the planner at its next checkpoint. The solution is
+// deterministic for fixed options regardless of opt.Workers.
+func Solve1D(ctx context.Context, in *Instance, opt Options1D) (*Solution, *Trace1D, error) {
+	return oned.Solve(ctx, in, opt)
 }
 
-// Solve2D plans the stencil of a 2DOSP instance with E-BLOW.
-func Solve2D(in *Instance, opt Options2D) (*Solution, *ClusterStats, error) {
-	return twod.Solve(in, opt)
+// Solve2D plans the stencil of a 2DOSP instance with E-BLOW; cancellation
+// and determinism follow the same contract as Solve1D.
+func Solve2D(ctx context.Context, in *Instance, opt Options2D) (*Solution, *ClusterStats, error) {
+	return twod.Solve(ctx, in, opt)
 }
 
 // Solve dispatches to Solve1D or Solve2D based on the instance kind, using
 // the default options.
-func Solve(in *Instance) (*Solution, error) {
+func Solve(ctx context.Context, in *Instance) (*Solution, error) {
 	switch in.Kind {
 	case core.OneD:
-		sol, _, err := Solve1D(in, Defaults1D())
+		sol, _, err := Solve1D(ctx, in, Defaults1D())
 		return sol, err
 	case core.TwoD:
-		sol, _, err := Solve2D(in, Defaults2D())
+		sol, _, err := Solve2D(ctx, in, Defaults2D())
 		return sol, err
 	default:
 		return nil, fmt.Errorf("eblow: unknown instance kind %v", in.Kind)
 	}
 }
 
-// Exact1D solves formulation (3) of the paper exactly with branch and bound.
-func Exact1D(in *Instance, timeLimit time.Duration) (*ExactResult, error) {
-	return exact.Solve1D(in, timeLimit)
+// SolvePortfolio races E-BLOW against the prior-work baselines under one
+// shared deadline (ctx plus opt.Timeout) and returns the best feasible plan
+// any strategy found. Cheap heuristics guarantee an incumbent even when the
+// deadline cuts the heavier planners off; with room to spare the best
+// overall plan wins. The result is deterministic for a fixed seed
+// regardless of opt.Workers as long as no deadline truncates an entrant
+// mid-run.
+func SolvePortfolio(ctx context.Context, in *Instance, opt PortfolioOptions) (*PortfolioResult, error) {
+	return portfolio.Solve(ctx, in, opt)
+}
+
+// PortfolioStrategies lists the strategies SolvePortfolio races for the
+// given instance kind, in race order.
+func PortfolioStrategies(kind Kind) []string { return portfolio.Names(kind) }
+
+// Exact1D solves formulation (3) of the paper exactly with branch and
+// bound. The context cancels the search; the time limit bounds it even
+// without a context deadline.
+func Exact1D(ctx context.Context, in *Instance, timeLimit time.Duration) (*ExactResult, error) {
+	return exact.Solve1D(ctx, in, timeLimit)
 }
 
 // Exact2D solves formulation (7) of the paper exactly with branch and bound.
-func Exact2D(in *Instance, timeLimit time.Duration) (*ExactResult, error) {
-	return exact.Solve2D(in, timeLimit)
+func Exact2D(ctx context.Context, in *Instance, timeLimit time.Duration) (*ExactResult, error) {
+	return exact.Solve2D(ctx, in, timeLimit)
 }
 
 // Greedy1D is the greedy 1D baseline of the paper's Table 3.
 func Greedy1D(in *Instance) (*Solution, error) { return baseline.Greedy1D(in) }
 
 // Heuristic1D is the prior-work two-step 1D heuristic ([24] in the paper).
-func Heuristic1D(in *Instance, seed int64) (*Solution, error) {
-	return baseline.Heuristic1D(in, baseline.Heuristic1DOptions{Seed: seed})
+func Heuristic1D(ctx context.Context, in *Instance, seed int64) (*Solution, error) {
+	return baseline.Heuristic1D(ctx, in, baseline.Heuristic1DOptions{Seed: seed})
 }
 
 // RowHeuristic1D is the deterministic row-structure 1D heuristic ([25] in
@@ -133,8 +169,8 @@ func RowHeuristic1D(in *Instance) (*Solution, error) { return baseline.RowHeuris
 func Greedy2D(in *Instance) (*Solution, error) { return baseline.Greedy2D(in) }
 
 // AnnealedBaseline2D is the prior-work fixed-outline floorplanner ([24]).
-func AnnealedBaseline2D(in *Instance, seed int64, timeLimit time.Duration) (*Solution, error) {
-	return baseline.SA2D(in, baseline.SA2DOptions{Seed: seed, TimeLimit: timeLimit})
+func AnnealedBaseline2D(ctx context.Context, in *Instance, seed int64, timeLimit time.Duration) (*Solution, error) {
+	return baseline.SA2D(ctx, in, baseline.SA2DOptions{Seed: seed, TimeLimit: timeLimit})
 }
 
 // Benchmark returns the named synthetic benchmark instance ("1D-1" .. "1D-4",

@@ -1,6 +1,7 @@
 package eblow
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
@@ -8,7 +9,7 @@ import (
 
 func TestSolveDispatch(t *testing.T) {
 	in1 := SmallInstance(OneD, 50, 3, 1)
-	sol, err := Solve(in1)
+	sol, err := Solve(context.Background(), in1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +18,7 @@ func TestSolveDispatch(t *testing.T) {
 	}
 
 	in2 := SmallInstance(TwoD, 40, 2, 2)
-	sol2, err := Solve(in2)
+	sol2, err := Solve(context.Background(), in2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,11 +28,14 @@ func TestSolveDispatch(t *testing.T) {
 }
 
 func TestFacadeBaselinesAndExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact ILP solve is slow; run without -short")
+	}
 	in := SmallInstance(OneD, 40, 2, 3)
 	if _, err := Greedy1D(in); err != nil {
 		t.Error(err)
 	}
-	if _, err := Heuristic1D(in, 1); err != nil {
+	if _, err := Heuristic1D(context.Background(), in, 1); err != nil {
 		t.Error(err)
 	}
 	if _, err := RowHeuristic1D(in); err != nil {
@@ -41,7 +45,7 @@ func TestFacadeBaselinesAndExact(t *testing.T) {
 	if _, err := Greedy2D(in2); err != nil {
 		t.Error(err)
 	}
-	if _, err := AnnealedBaseline2D(in2, 1, 2*time.Second); err != nil {
+	if _, err := AnnealedBaseline2D(context.Background(), in2, 1, 2*time.Second); err != nil {
 		t.Error(err)
 	}
 
@@ -49,7 +53,7 @@ func TestFacadeBaselinesAndExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Exact1D(tiny, 5*time.Second)
+	res, err := Exact1D(context.Background(), tiny, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,11 +21,11 @@ func main() {
 			log.Fatal(err)
 		}
 
-		exact, err := eblow.Exact1D(in, 20*time.Second)
+		exact, err := eblow.Exact1D(context.Background(), in, 20*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
-		heur, _, err := eblow.Solve1D(in, eblow.Defaults1D())
+		heur, _, err := eblow.Solve1D(context.Background(), in, eblow.Defaults1D())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	}
 	results = append(results, entry{"Greedy", greedy})
 
-	heur, err := eblow.Heuristic1D(in, 1)
+	heur, err := eblow.Heuristic1D(context.Background(), in, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 	}
 	results = append(results, entry{"Row heuristic [25]", row25})
 
-	eblowSol, _, err := eblow.Solve1D(in, eblow.Defaults1D())
+	eblowSol, _, err := eblow.Solve1D(context.Background(), in, eblow.Defaults1D())
 	if err != nil {
 		log.Fatal(err)
 	}

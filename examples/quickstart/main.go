@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ func main() {
 	// sharing one stencil.
 	in := eblow.SmallInstance(eblow.OneD, 120, 4, 42)
 
-	sol, trace, err := eblow.Solve1D(in, eblow.Defaults1D())
+	sol, trace, err := eblow.Solve1D(context.Background(), in, eblow.Defaults1D())
 	if err != nil {
 		log.Fatal(err)
 	}

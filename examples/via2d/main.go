@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,7 +23,7 @@ func main() {
 	opt.Seed = 7
 	opt.TimeLimit = 5 * time.Second
 
-	sol, stats, err := eblow.Solve2D(in, opt)
+	sol, stats, err := eblow.Solve2D(context.Background(), in, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module eblow
+
+go 1.22

@@ -1,0 +1,68 @@
+package eblow
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eblow/internal/gen"
+)
+
+// Golden regression anchors: one small deterministic instance per benchmark
+// family, solved with the default E-BLOW planner. The committed values pin
+// the solver's solution quality — a refactor that silently degrades (or
+// accidentally changes) the planner breaks this test instead of slipping
+// through. If a deliberate algorithm change moves a value, re-derive it with
+// `go test -run TestGoldenObjectives -v` and update the table in the same
+// commit that changes the algorithm.
+func TestGoldenObjectives(t *testing.T) {
+	golden := map[string]struct {
+		writingTime int64
+		selected    int
+	}{
+		"1D": {writingTime: 2540, selected: 117},
+		"1M": {writingTime: 1590, selected: 114},
+		"2D": {writingTime: 2552, selected: 102},
+		"2M": {writingTime: 1246, selected: 108},
+		"1T": {writingTime: 49, selected: 6},
+		"2T": {writingTime: 32, selected: 5},
+	}
+
+	for _, family := range []string{"1D", "1M", "2D", "2M", "1T", "2T"} {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			in, err := gen.SmallFamily(family)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sol *Solution
+			if in.Kind == OneD {
+				opt := Defaults1D()
+				// The fast-convergence ILP normally carries a 2s wall-clock
+				// limit; on these tiny instances it finishes in milliseconds,
+				// but a generous limit makes the anchor immune to a heavily
+				// loaded CI machine truncating the search differently.
+				opt.ILPTimeLimit = 10 * time.Minute
+				sol, _, err = Solve1D(context.Background(), in, opt)
+			} else {
+				opt := Defaults2D()
+				opt.Seed = 1
+				sol, _, err = Solve2D(context.Background(), in, opt)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sol.Validate(in); err != nil {
+				t.Fatalf("invalid solution: %v", err)
+			}
+			want := golden[family]
+			t.Logf("%s: writingTime=%d selected=%d", family, sol.WritingTime, sol.NumSelected())
+			if sol.WritingTime != want.writingTime {
+				t.Errorf("writing time drifted: got %d, golden %d", sol.WritingTime, want.writingTime)
+			}
+			if sol.NumSelected() != want.selected {
+				t.Errorf("selected count drifted: got %d, golden %d", sol.NumSelected(), want.selected)
+			}
+		})
+	}
+}

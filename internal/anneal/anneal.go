@@ -4,12 +4,22 @@
 // the same engine without the clustering front end, so that the measured
 // difference between the two is the algorithmic contribution and not the
 // annealer.
+//
+// The engine is cancellable: Minimize polls its context between moves and
+// returns the best state found so far when the context is done, so callers
+// can bound a run with a deadline or cancel it outright. MultiStart runs K
+// independent seeded restarts on a bounded worker pool and merges the
+// outcomes in restart order, which keeps the result deterministic for a
+// fixed seed no matter how many workers execute the restarts.
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
+
+	"eblow/internal/par"
 )
 
 // State is a mutable optimization state. Perturb applies a random move and
@@ -69,8 +79,9 @@ type Result struct {
 }
 
 // Minimize runs simulated annealing on the state and leaves it restored to
-// the best configuration found.
-func Minimize(s State, opt Options) Result {
+// the best configuration found. A done context stops the schedule early; the
+// state still holds the best configuration seen up to that point.
+func Minimize(ctx context.Context, s State, opt Options) Result {
 	start := time.Now()
 	initial := s.Cost()
 	opt = opt.withDefaults(initial)
@@ -84,12 +95,21 @@ func Minimize(s State, opt Options) Result {
 	if opt.TimeLimit > 0 {
 		deadline = start.Add(opt.TimeLimit)
 	}
+	done := ctx.Done()
+	stopped := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
 
 	runSchedule := func(startTemp float64) {
 		temp := startTemp
 		for temp > opt.FinalTemp {
 			for i := 0; i < opt.MovesPerTemp; i++ {
-				if !deadline.IsZero() && time.Now().After(deadline) {
+				if stopped() {
 					return
 				}
 				undo := s.Perturb(rng)
@@ -113,7 +133,7 @@ func Minimize(s State, opt Options) Result {
 
 	runSchedule(opt.InitialTemp)
 	for r := 0; r < opt.Reheats; r++ {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if stopped() {
 			break
 		}
 		// Restart from the best state at a reduced temperature.
@@ -125,4 +145,39 @@ func Minimize(s State, opt Options) Result {
 	s.Restore(best)
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// Run is the outcome of one restart of a multi-start annealing run.
+type Run struct {
+	// State is the restart's state, restored to its best configuration.
+	State State
+	// Result summarises the restart.
+	Result Result
+}
+
+// MultiStart runs `restarts` independent annealing runs on states produced
+// by newState (called with the restart index) and returns the outcomes
+// indexed by restart. Each restart derives its own seed from opt.Seed and the
+// restart index, so the set of runs is identical no matter how many workers
+// execute them; callers pick the winner by scanning the slice in order,
+// which makes the merge deterministic. workers <= 0 means one worker per
+// restart. A done context stops every run early (the runs still report
+// their best-so-far states).
+func MultiStart(ctx context.Context, newState func(restart int) State, restarts, workers int, opt Options) []Run {
+	if restarts <= 0 {
+		restarts = 1
+	}
+	if workers <= 0 || workers > restarts {
+		workers = restarts
+	}
+	runs := make([]Run, restarts)
+	par.For(workers, restarts, func(r int) {
+		o := opt
+		// Large odd stride keeps per-restart seeds distinct even when
+		// callers use small consecutive base seeds.
+		o.Seed = opt.Seed + int64(r)*7919
+		st := newState(r)
+		runs[r] = Run{State: st, Result: Minimize(ctx, st, o)}
+	})
+	return runs
 }

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,7 @@ func (s *quadState) Restore(v interface{}) { copy(s.x, v.([]int)) }
 func TestMinimizeQuadratic(t *testing.T) {
 	s := &quadState{x: make([]int, 6), target: []int{5, -3, 7, 0, 2, -8}}
 	initial := s.Cost()
-	res := Minimize(s, Options{Seed: 1, InitialTemp: 50, FinalTemp: 0.01, MovesPerTemp: 200, Cooling: 0.9})
+	res := Minimize(context.Background(), s, Options{Seed: 1, InitialTemp: 50, FinalTemp: 0.01, MovesPerTemp: 200, Cooling: 0.9})
 	if res.BestCost >= initial {
 		t.Errorf("no improvement: best %v initial %v", res.BestCost, initial)
 	}
@@ -61,7 +62,7 @@ func TestMinimizeQuadratic(t *testing.T) {
 func TestDeterministicWithSeed(t *testing.T) {
 	run := func() float64 {
 		s := &quadState{x: make([]int, 4), target: []int{3, 3, 3, 3}}
-		res := Minimize(s, Options{Seed: 42, InitialTemp: 10, FinalTemp: 0.1, MovesPerTemp: 50})
+		res := Minimize(context.Background(), s, Options{Seed: 42, InitialTemp: 10, FinalTemp: 0.1, MovesPerTemp: 50})
 		return res.BestCost
 	}
 	if run() != run() {
@@ -71,7 +72,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 
 func TestDefaultsApplied(t *testing.T) {
 	s := &quadState{x: []int{10}, target: []int{0}}
-	res := Minimize(s, Options{Seed: 3})
+	res := Minimize(context.Background(), s, Options{Seed: 3})
 	if res.Moves == 0 {
 		t.Error("defaults should allow at least one move")
 	}
@@ -86,7 +87,7 @@ func TestTimeLimit(t *testing.T) {
 		s.target[i] = 1000
 	}
 	start := time.Now()
-	Minimize(s, Options{Seed: 5, InitialTemp: 1e6, FinalTemp: 1e-9, MovesPerTemp: 100000, Cooling: 0.999999, TimeLimit: 30 * time.Millisecond})
+	Minimize(context.Background(), s, Options{Seed: 5, InitialTemp: 1e6, FinalTemp: 1e-9, MovesPerTemp: 100000, Cooling: 0.999999, TimeLimit: 30 * time.Millisecond})
 	if time.Since(start) > 2*time.Second {
 		t.Errorf("time limit ignored: %v", time.Since(start))
 	}
@@ -94,7 +95,7 @@ func TestTimeLimit(t *testing.T) {
 
 func TestReheats(t *testing.T) {
 	s := &quadState{x: make([]int, 5), target: []int{9, 9, 9, 9, 9}}
-	res := Minimize(s, Options{Seed: 7, InitialTemp: 20, FinalTemp: 0.5, MovesPerTemp: 30, Reheats: 2})
+	res := Minimize(context.Background(), s, Options{Seed: 7, InitialTemp: 20, FinalTemp: 0.5, MovesPerTemp: 30, Reheats: 2})
 	if res.BestCost > res.InitialCost {
 		t.Error("reheated run worse than initial state")
 	}

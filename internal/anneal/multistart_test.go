@@ -1,0 +1,62 @@
+package anneal
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestMinimizeCancelledContextStopsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &quadState{x: make([]int, 100), target: make([]int, 100)}
+	for i := range s.target {
+		s.target[i] = 1000
+	}
+	start := time.Now()
+	res := Minimize(ctx, s, Options{Seed: 5, InitialTemp: 1e6, FinalTemp: 1e-9, MovesPerTemp: 100000, Cooling: 0.999999})
+	if res.Moves != 0 {
+		t.Errorf("cancelled run still proposed %d moves", res.Moves)
+	}
+	if res.BestCost != res.InitialCost {
+		t.Error("cancelled run should report the initial state as best")
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("cancelled run took %s", time.Since(start))
+	}
+}
+
+func TestMultiStartDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		runs := MultiStart(context.Background(), func(r int) State {
+			return &quadState{x: make([]int, 6), target: []int{5, -3, 7, 0, 2, -8}}
+		}, 5, workers, Options{Seed: 11, InitialTemp: 50, FinalTemp: 0.01, MovesPerTemp: 100, Cooling: 0.9})
+		costs := make([]float64, len(runs))
+		for i, r := range runs {
+			costs[i] = r.Result.BestCost
+		}
+		return costs
+	}
+	a, b := run(1), run(4)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("expected 5 runs, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("restart %d cost differs across worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMultiStartDistinctSeedsExploreDifferently(t *testing.T) {
+	runs := MultiStart(context.Background(), func(r int) State {
+		return &quadState{x: make([]int, 8), target: []int{50, 50, 50, 50, 50, 50, 50, 50}}
+	}, 4, 2, Options{Seed: 1, InitialTemp: 10, FinalTemp: 1, MovesPerTemp: 20})
+	distinct := map[float64]bool{}
+	for _, r := range runs {
+		distinct[r.Result.BestCost] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all restarts converged identically; seeds are probably shared")
+	}
+}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"eblow/internal/core"
@@ -44,7 +45,7 @@ func TestRowHeuristic1D(t *testing.T) {
 
 func TestHeuristic1D(t *testing.T) {
 	in := gen.Small(core.OneD, 80, 4, 29)
-	sol, err := Heuristic1D(in, Heuristic1DOptions{Seed: 1})
+	sol, err := Heuristic1D(context.Background(), in, Heuristic1DOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestHeuristic1D(t *testing.T) {
 
 func TestHeuristic1DDeterministicSeed(t *testing.T) {
 	in := gen.Small(core.OneD, 60, 3, 31)
-	a, err := Heuristic1D(in, Heuristic1DOptions{Seed: 7})
+	a, err := Heuristic1D(context.Background(), in, Heuristic1DOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Heuristic1D(in, Heuristic1DOptions{Seed: 7})
+	b, err := Heuristic1D(context.Background(), in, Heuristic1DOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func Test1DBaselinesRejectBadInput(t *testing.T) {
 	if _, err := RowHeuristic1D(in2d); err == nil {
 		t.Error("RowHeuristic1D should reject 2D instances")
 	}
-	if _, err := Heuristic1D(in2d, Heuristic1DOptions{}); err == nil {
+	if _, err := Heuristic1D(context.Background(), in2d, Heuristic1DOptions{}); err == nil {
 		t.Error("Heuristic1D should reject 2D instances")
 	}
 	if _, err := Greedy1D(&core.Instance{}); err == nil {
@@ -112,7 +113,7 @@ func TestGreedy2D(t *testing.T) {
 
 func TestSA2D(t *testing.T) {
 	in := gen.Small(core.TwoD, 40, 2, 43)
-	sol, err := SA2D(in, SA2DOptions{Seed: 1, MoveBudget: 4000})
+	sol, err := SA2D(context.Background(), in, SA2DOptions{Seed: 1, MoveBudget: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func Test2DBaselinesRejectBadInput(t *testing.T) {
 	if _, err := Greedy2D(in1d); err == nil {
 		t.Error("Greedy2D should reject 1D instances")
 	}
-	if _, err := SA2D(in1d, SA2DOptions{}); err == nil {
+	if _, err := SA2D(context.Background(), in1d, SA2DOptions{}); err == nil {
 		t.Error("SA2D should reject 1D instances")
 	}
 }

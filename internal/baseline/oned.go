@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -106,9 +107,14 @@ type Heuristic1DOptions struct {
 // ordering and a randomized swap-based improvement phase. For MCC instances
 // the improvement accepts swaps that reduce the TOTAL writing time over all
 // regions (the paper's noted adaptation of [24]), not the maximum, which is
-// the key difference from E-BLOW.
-func Heuristic1D(in *core.Instance, opt Heuristic1DOptions) (*core.Solution, error) {
+// the key difference from E-BLOW. The context cancels the run: an
+// already-done context returns ctx.Err() immediately and a context that
+// expires during the improvement phase stops it at the next sweep.
+func Heuristic1D(ctx context.Context, in *core.Instance, opt Heuristic1DOptions) (*core.Solution, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := check1D(in); err != nil {
 		return nil, err
 	}
@@ -159,7 +165,16 @@ func Heuristic1D(in *core.Instance, opt Heuristic1DOptions) (*core.Solution, err
 	}
 	times := in.RegionTimes(selected)
 	attempts := opt.ImprovementFactor * in.NumCharacters()
+	done := ctx.Done()
 	for a := 0; a < attempts && len(unselected) > 0; a++ {
+		if a%1024 == 0 {
+			select {
+			case <-done:
+				a = attempts // stop improving; the current rows are feasible
+				continue
+			default:
+			}
+		}
 		u := unselected[rng.Intn(len(unselected))]
 		j := rng.Intn(m)
 		if len(rows[j]) == 0 {

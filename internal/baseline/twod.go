@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -57,6 +58,12 @@ type SA2DOptions struct {
 	Seed int64
 	// TimeLimit bounds the annealing run.
 	TimeLimit time.Duration
+	// Restarts is the number of independent annealing restarts (best-of
+	// wins); 0 means 1.
+	Restarts int
+	// Workers bounds how many restarts anneal concurrently; 0 means one
+	// goroutine per restart.
+	Workers int
 	// PreFilterFactor keeps PreFilterFactor * (stencil area / average
 	// character area) candidates before annealing; 0 means 2.5.
 	PreFilterFactor float64
@@ -66,9 +73,14 @@ type SA2DOptions struct {
 // sequence-pair simulated annealer over individual characters (no
 // clustering). Characters whose placement falls outside the outline are not
 // selected. Following the paper's note on adapting [24] to MCC systems, the
-// annealing objective is the total writing time over all regions.
-func SA2D(in *core.Instance, opt SA2DOptions) (*core.Solution, error) {
+// annealing objective is the total writing time over all regions. The
+// context cancels the annealing run; an already-done context returns
+// ctx.Err() immediately.
+func SA2D(ctx context.Context, in *core.Instance, opt SA2DOptions) (*core.Solution, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := check2D(in); err != nil {
 		return nil, err
 	}
@@ -82,10 +94,12 @@ func SA2D(in *core.Instance, opt SA2DOptions) (*core.Solution, error) {
 		blocks[k] = charBlock(in, id)
 	}
 
-	res := floorsa.Pack(blocks, in.VSBTime(), in.StencilWidth, in.StencilHeight, floorsa.Options{
+	res := floorsa.Pack(ctx, blocks, in.VSBTime(), in.StencilWidth, in.StencilHeight, floorsa.Options{
 		MoveBudget:   opt.MoveBudget,
 		Seed:         opt.Seed,
 		TimeLimit:    opt.TimeLimit,
+		Restarts:     opt.Restarts,
+		Workers:      opt.Workers,
 		SumObjective: true,
 	})
 

@@ -7,6 +7,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,8 +33,13 @@ type Result struct {
 
 // Solve1D builds formulation (3) for a 1DOSP instance and solves it exactly.
 // Variables: x_i (continuous positions), a_ik (assignment of character i to
-// row k) and p_ij (left/right ordering); constraints (3a)-(3f).
-func Solve1D(in *core.Instance, timeLimit time.Duration) (*Result, error) {
+// row k) and p_ij (left/right ordering); constraints (3a)-(3f). The context
+// cancels the branch-and-bound search; an already-done context returns
+// ctx.Err() before any work happens.
+func Solve1D(ctx context.Context, in *core.Instance, timeLimit time.Duration) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -131,7 +137,7 @@ func Solve1D(in *core.Instance, timeLimit time.Duration) (*Result, error) {
 		}
 	}
 
-	res, err := ilp.Solve(ilp.NewBinaryProblem(prob, binaries), ilp.Options{
+	res, err := ilp.Solve(ctx, ilp.NewBinaryProblem(prob, binaries), ilp.Options{
 		Maximize:  false,
 		TimeLimit: timeLimit,
 	})
@@ -184,8 +190,13 @@ func Solve1D(in *core.Instance, timeLimit time.Duration) (*Result, error) {
 
 // Solve2D builds formulation (7) for a 2DOSP instance and solves it exactly.
 // Variables: a_i (selection), x_i, y_i (positions), p_ij, q_ij (relative
-// position encoding); constraints (7a)-(7g).
-func Solve2D(in *core.Instance, timeLimit time.Duration) (*Result, error) {
+// position encoding); constraints (7a)-(7g). The context cancels the
+// branch-and-bound search; an already-done context returns ctx.Err() before
+// any work happens.
+func Solve2D(ctx context.Context, in *core.Instance, timeLimit time.Duration) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -277,7 +288,7 @@ func Solve2D(in *core.Instance, timeLimit time.Duration) (*Result, error) {
 		}
 	}
 
-	res, err := ilp.Solve(ilp.NewBinaryProblem(prob, binaries), ilp.Options{
+	res, err := ilp.Solve(ctx, ilp.NewBinaryProblem(prob, binaries), ilp.Options{
 		Maximize:  false,
 		TimeLimit: timeLimit,
 	})

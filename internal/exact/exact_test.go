@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,7 +28,7 @@ func tiny1D(n int) *core.Instance {
 
 func TestSolve1DTinyOptimal(t *testing.T) {
 	in := tiny1D(5)
-	res, err := Solve1D(in, 30*time.Second)
+	res, err := Solve1D(context.Background(), in, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestSolve1DTinyOptimal(t *testing.T) {
 	}
 
 	// The exact optimum must never be worse than the E-BLOW heuristic.
-	heur, _, err := oned.Solve(in, oned.Defaults())
+	heur, _, err := oned.Solve(context.Background(), in, oned.Defaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSolve1DTinyOptimal(t *testing.T) {
 func TestSolve1DRespectsTimeLimit(t *testing.T) {
 	in := gen.Tiny1T(3) // 11 candidates: too big to finish in a few ms
 	start := time.Now()
-	res, err := Solve1D(in, 150*time.Millisecond)
+	res, err := Solve1D(context.Background(), in, 150*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestSolve2DTiny(t *testing.T) {
 		Seed:      7,
 	}
 	in := gen.Generate(p)
-	res, err := Solve2D(in, 30*time.Second)
+	res, err := Solve2D(context.Background(), in, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +100,10 @@ func TestSolve2DTiny(t *testing.T) {
 }
 
 func TestSolveRejectsWrongKind(t *testing.T) {
-	if _, err := Solve1D(gen.Small(core.TwoD, 5, 1, 1), time.Second); err == nil {
+	if _, err := Solve1D(context.Background(), gen.Small(core.TwoD, 5, 1, 1), time.Second); err == nil {
 		t.Error("Solve1D accepted a 2D instance")
 	}
-	if _, err := Solve2D(gen.Small(core.OneD, 5, 1, 1), time.Second); err == nil {
+	if _, err := Solve2D(context.Background(), gen.Small(core.OneD, 5, 1, 1), time.Second); err == nil {
 		t.Error("Solve2D accepted a 1D instance")
 	}
 }

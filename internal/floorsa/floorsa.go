@@ -6,9 +6,16 @@
 // writing time computed from the blocks that land inside the stencil
 // outline, so selection and placement are optimized together exactly as in
 // the fixed-outline formulation of the prior work.
+//
+// Pack is cancellable through its context and supports multi-start
+// annealing: Restarts independent seeded runs execute on a worker pool and
+// the best legalised floorplan wins. The winner is picked by scanning the
+// restarts in index order, so the result is identical for a fixed seed no
+// matter how many workers ran them.
 package floorsa
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -28,13 +35,22 @@ type Block struct {
 
 // Options configures the annealing run.
 type Options struct {
-	// MoveBudget is the total number of proposed moves. If zero a budget of
-	// 40*n^1.15 (bounded to [2000, 60000]) is used.
+	// MoveBudget is the total number of proposed moves per restart. If zero
+	// a budget of 40*n (bounded to [2000, 60000]) is used.
 	MoveBudget int
 	// Seed seeds the annealer and the initial sequence pair.
 	Seed int64
-	// TimeLimit bounds the wall-clock time of the annealing run.
+	// TimeLimit bounds the wall-clock time of the whole annealing run,
+	// across all restarts (restarts cut off mid-schedule still contribute
+	// their best-so-far floorplans).
 	TimeLimit time.Duration
+	// Restarts is the number of independent annealing restarts (best-of
+	// wins); 0 or 1 means a single run. Restart 0 starts from the shelf
+	// floorplan, later restarts from seeded random sequence pairs.
+	Restarts int
+	// Workers bounds how many restarts anneal concurrently; <= 0 means one
+	// goroutine per restart.
+	Workers int
 	// SumObjective switches the annealing cost from the MCC objective
 	// (maximum region writing time) to the total writing time over all
 	// regions. The prior-work baseline of the paper uses the sum; E-BLOW
@@ -59,8 +75,10 @@ type Result struct {
 	X, Y []int
 	// WritingTime is the MCC writing time of the final selection.
 	WritingTime int64
-	// Moves and Accepted report annealer statistics.
+	// Moves and Accepted report annealer statistics summed over restarts.
 	Moves, Accepted int
+	// Restarts is the number of annealing restarts that ran.
+	Restarts int
 }
 
 // state is the annealing state: a sequence pair over the blocks.
@@ -135,8 +153,10 @@ func totalTime(vsb []int64, reds [][]int64, inside []bool) int64 {
 }
 
 // Pack places the blocks on a W x H stencil minimizing the MCC writing time
-// computed against the per-region pure-VSB times vsb.
-func Pack(blocks []Block, vsb []int64, w, h int, opt Options) *Result {
+// computed against the per-region pure-VSB times vsb. A done context stops
+// the annealing early; the best floorplan found so far is still legalised
+// and returned.
+func Pack(ctx context.Context, blocks []Block, vsb []int64, w, h int, opt Options) *Result {
 	n := len(blocks)
 	res := &Result{
 		Inside: make([]bool, n),
@@ -155,7 +175,6 @@ func Pack(blocks []Block, vsb []int64, w, h int, opt Options) *Result {
 		reds[i] = b.Reductions
 	}
 
-	rng := rand.New(rand.NewSource(opt.Seed))
 	// Shelf-pack the blocks in decreasing order of writing-time reduction
 	// per unit area for the initial floorplan, so the annealer starts from a
 	// selection at least as good as a profit-density greedy packing. Density
@@ -178,11 +197,11 @@ func Pack(blocks []Block, vsb []int64, w, h int, opt Options) *Result {
 		return float64(t) / float64(area)
 	}
 	sort.Slice(order, func(a, b int) bool { return density(order[a]) > density(order[b]) })
-	initial := shelfInitial(raw, order, w)
-	if opt.RandomInitial {
-		initial = seqpair.Random(n, rng)
+	shelf := shelfInitial(raw, order, w)
+
+	newState := func(sp *seqpair.SeqPair) *state {
+		return &state{sp: sp, blocks: raw, reds: reds, vsb: vsb, w: w, h: h, useSum: opt.SumObjective}
 	}
-	st := &state{sp: initial.Clone(), blocks: raw, reds: reds, vsb: vsb, w: w, h: h, useSum: opt.SumObjective}
 
 	budget := opt.MoveBudget
 	if budget <= 0 {
@@ -192,36 +211,75 @@ func Pack(blocks []Block, vsb []int64, w, h int, opt Options) *Result {
 	if movesPerTemp < 10 {
 		movesPerTemp = 10
 	}
-	// Temperatures are scaled to typical per-move cost deltas (a small
-	// fraction of the total writing time), not to the absolute cost.
-	initialTemp := st.Cost() * 0.01
-	if initialTemp < 50 {
-		initialTemp = 50
+
+	restarts := opt.Restarts
+	if restarts <= 0 {
+		restarts = 1
 	}
-	if !opt.SkipAnneal {
-		ar := anneal.Minimize(st, anneal.Options{
-			Seed:         opt.Seed + 1,
-			InitialTemp:  initialTemp,
-			FinalTemp:    initialTemp * 2e-3,
-			MovesPerTemp: movesPerTemp,
-			Cooling:      0.93,
-			TimeLimit:    opt.TimeLimit,
-		})
-		res.Moves, res.Accepted = ar.Moves, ar.Accepted
+	if opt.SkipAnneal {
+		restarts = 1
 	}
 
-	// Legalise the best floorplan with the exact pairwise blank sharing and
-	// recompute the selection from it. If the annealed floorplan turns out
-	// worse than the initial shelf floorplan under the exact evaluation
-	// (the annealing cost uses the approximate packing), keep the initial.
+	// pick legalises a floorplan with the exact pairwise blank sharing and
+	// recomputes the selection from it.
 	pick := func(sp *seqpair.SeqPair) ([]bool, *pack2d.Placement, int64) {
 		exact := pack2d.PackExact(sp, raw)
 		inside := pack2d.InsideOutline(exact, raw, w, h)
 		return inside, exact, writingTime(vsb, reds, inside)
 	}
-	inside, exact, wt := pick(st.sp)
-	if !opt.RandomInitial {
-		if insideInit, exactInit, wtInit := pick(initial); wtInit < wt {
+
+	var inside []bool
+	var exact *pack2d.Placement
+	var wt int64
+	if opt.SkipAnneal {
+		inside, exact, wt = pick(shelf)
+	} else {
+		// The time limit bounds the whole run, not each restart, so it is
+		// enforced as a context deadline shared by every restart rather
+		// than per-restart inside anneal.Minimize.
+		if opt.TimeLimit > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opt.TimeLimit)
+			defer cancel()
+		}
+		// Temperatures are scaled to typical per-move cost deltas (a small
+		// fraction of the total writing time), not to the absolute cost.
+		initialTemp := newState(shelf.Clone()).Cost() * 0.01
+		if initialTemp < 50 {
+			initialTemp = 50
+		}
+		runs := anneal.MultiStart(ctx, func(r int) anneal.State {
+			sp := shelf.Clone()
+			if opt.RandomInitial || r > 0 {
+				// Later restarts diversify from seeded random sequence pairs;
+				// the initial depends only on the seed and restart index, so
+				// the run set is reproducible.
+				sp = seqpair.Random(n, rand.New(rand.NewSource(opt.Seed+int64(r)*104729)))
+			}
+			return newState(sp)
+		}, restarts, opt.Workers, anneal.Options{
+			Seed:         opt.Seed + 1,
+			InitialTemp:  initialTemp,
+			FinalTemp:    initialTemp * 2e-3,
+			MovesPerTemp: movesPerTemp,
+			Cooling:      0.93,
+		})
+		res.Restarts = len(runs)
+		// Merge in restart order: the exact (legalised) evaluation decides,
+		// ties go to the lowest restart index. Completion order never matters.
+		for _, run := range runs {
+			res.Moves += run.Result.Moves
+			res.Accepted += run.Result.Accepted
+			if ins, ex, w := pick(run.State.(*state).sp); exact == nil || w < wt {
+				inside, exact, wt = ins, ex, w
+			}
+		}
+	}
+	if !opt.RandomInitial && !opt.SkipAnneal {
+		// The annealing cost uses the approximate packing; if every annealed
+		// floorplan turns out worse than the initial shelf floorplan under
+		// the exact evaluation, keep the initial.
+		if insideInit, exactInit, wtInit := pick(shelf); wtInit < wt {
 			inside, exact, wt = insideInit, exactInit, wtInit
 		}
 	}

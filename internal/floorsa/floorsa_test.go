@@ -1,6 +1,7 @@
 package floorsa
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,7 +17,7 @@ func mkBlock(w, h, blank int, red ...int64) Block {
 }
 
 func TestPackEmpty(t *testing.T) {
-	res := Pack(nil, []int64{100}, 50, 50, Options{Seed: 1})
+	res := Pack(context.Background(), nil, []int64{100}, 50, 50, Options{Seed: 1})
 	if res.WritingTime != 100 {
 		t.Errorf("writing time = %d, want 100 (nothing to place)", res.WritingTime)
 	}
@@ -28,7 +29,7 @@ func TestPackAllFit(t *testing.T) {
 		mkBlock(30, 30, 3, 30),
 		mkBlock(30, 30, 3, 20),
 	}
-	res := Pack(blocks, []int64{200}, 100, 100, Options{Seed: 2})
+	res := Pack(context.Background(), blocks, []int64{200}, 100, 100, Options{Seed: 2})
 	for i, in := range res.Inside {
 		if !in {
 			t.Errorf("block %d should fit on a roomy stencil", i)
@@ -46,7 +47,7 @@ func TestPackSelectsHighProfit(t *testing.T) {
 		mkBlock(40, 40, 2, 10),
 		mkBlock(40, 40, 2, 90),
 	}
-	res := Pack(blocks, []int64{200}, 45, 45, Options{Seed: 3})
+	res := Pack(context.Background(), blocks, []int64{200}, 45, 45, Options{Seed: 3})
 	if res.Inside[0] && res.Inside[1] {
 		t.Fatal("both blocks cannot fit")
 	}
@@ -67,7 +68,7 @@ func TestPackLegality(t *testing.T) {
 		mkBlock(50, 20, 6, 12, 3),
 	}
 	w, h := 90, 90
-	res := Pack(blocks, []int64{300, 250}, w, h, Options{Seed: 4})
+	res := Pack(context.Background(), blocks, []int64{300, 250}, w, h, Options{Seed: 4})
 
 	// Translate the result into a core instance/solution and run the strict
 	// validator over the selected blocks.
@@ -100,7 +101,7 @@ func TestPackTimeLimit(t *testing.T) {
 		blocks[i] = mkBlock(20+i%10, 20+(i*3)%15, 2, int64(i))
 	}
 	start := time.Now()
-	Pack(blocks, []int64{10000}, 200, 200, Options{Seed: 5, TimeLimit: 50 * time.Millisecond, MoveBudget: 10_000_000})
+	Pack(context.Background(), blocks, []int64{10000}, 200, 200, Options{Seed: 5, TimeLimit: 50 * time.Millisecond, MoveBudget: 10_000_000})
 	if time.Since(start) > 5*time.Second {
 		t.Errorf("time limit not respected: %v", time.Since(start))
 	}

@@ -345,6 +345,46 @@ func Small(kind core.Kind, numChars, numRegions int, seed int64) *core.Instance 
 	return Generate(p)
 }
 
+// SmallFamily returns a reduced-size instance with the structure of the
+// named benchmark family ("1D", "1M", "2D", "2M", "1T", "2T"): same kind,
+// region count and skew as the family, but few enough characters that a
+// full E-BLOW solve finishes in well under a second. The instances are
+// deterministic, which makes them suitable as golden-regression anchors.
+func SmallFamily(family string) (*core.Instance, error) {
+	base := Params{
+		StencilW: 400, StencilH: 400,
+		MinWidth: 28, MaxWidth: 45,
+		MinHeight: 28, MaxHeight: 45,
+		MinBlank: 4, MaxBlank: 14,
+		MinShots: 2, MaxShots: 60, ShotAreaUnit: 45,
+	}
+	switch strings.ToUpper(family) {
+	case "1D":
+		base.Name, base.Kind = "small-1D", core.OneD
+		base.NumChars, base.NumRegions, base.RowHeight = 120, 1, 40
+		base.MaxRepeat, base.RegionSkew, base.Seed = 60, 0, 71001
+	case "1M":
+		base.Name, base.Kind = "small-1M", core.OneD
+		base.NumChars, base.NumRegions, base.RowHeight = 120, 10, 40
+		base.MaxRepeat, base.RegionSkew, base.Seed = 25, 0.85, 72001
+	case "2D":
+		base.Name, base.Kind = "small-2D", core.TwoD
+		base.NumChars, base.NumRegions = 120, 1
+		base.MaxRepeat, base.RegionSkew, base.Seed = 60, 0, 73001
+	case "2M":
+		base.Name, base.Kind = "small-2M", core.TwoD
+		base.NumChars, base.NumRegions = 120, 10
+		base.MaxRepeat, base.RegionSkew, base.Seed = 25, 0.85, 74001
+	case "1T":
+		return Tiny1T(1), nil
+	case "2T":
+		return Tiny2T(1), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown benchmark family %q", family)
+	}
+	return Generate(base), nil
+}
+
 // ByName returns the named benchmark instance ("1D-3", "1M-7", "2D-1",
 // "2M-5", "1T-2", "2T-4", ...).
 func ByName(name string) (*core.Instance, error) {

@@ -12,6 +12,7 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -130,8 +131,9 @@ func (q *nodeQueue) Pop() interface{} {
 
 // Solve runs branch and bound. The LP inside p is used as a template: its
 // variable bounds are temporarily overridden per node and restored before
-// returning.
-func Solve(p *Problem, opt Options) (*Result, error) {
+// returning. A done context stops the search like a time limit: the best
+// incumbent found so far (if any) is returned with a Feasible/Limit status.
+func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	if p == nil || p.LP == nil || len(p.Integer) != p.LP.NumVars() {
 		return nil, fmt.Errorf("%w: integrality flags do not match LP", ErrBadProblem)
 	}
@@ -187,9 +189,19 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 		return a < b-1e-12
 	}
 
+	done := ctx.Done()
+	interrupted := false
 	nodes := 0
 	for queue.Len() > 0 {
 		if opt.MaxNodes > 0 && nodes >= opt.MaxNodes {
+			break
+		}
+		select {
+		case <-done:
+			interrupted = true
+		default:
+		}
+		if interrupted {
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
@@ -282,7 +294,7 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	if haveIncumbent {
 		res.X = incumbent
-		if queue.Len() == 0 && (opt.MaxNodes == 0 || nodes < opt.MaxNodes) &&
+		if queue.Len() == 0 && !interrupted && (opt.MaxNodes == 0 || nodes < opt.MaxNodes) &&
 			(deadline.IsZero() || time.Now().Before(deadline)) {
 			res.Status = Optimal
 		} else {

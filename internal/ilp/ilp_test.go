@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ func TestKnapsackILP(t *testing.T) {
 	p.SetObjective([]float64{10, 13, 14}, true)
 	p.AddDense([]float64{3, 4, 5}, lp.LE, 7)
 	prob := NewBinaryProblem(p, []int{0, 1, 2})
-	res, err := Solve(prob, Options{Maximize: true})
+	res, err := Solve(context.Background(), prob, Options{Maximize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestMinimizationILP(t *testing.T) {
 	p.AddDense([]float64{0, 1, 1}, lp.GE, 1)
 	p.AddDense([]float64{1, 0, 1}, lp.GE, 1)
 	prob := NewBinaryProblem(p, []int{0, 1, 2})
-	res, err := Solve(prob, Options{Maximize: false})
+	res, err := Solve(context.Background(), prob, Options{Maximize: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestInfeasibleILP(t *testing.T) {
 	p.SetObjective([]float64{1, 1}, true)
 	p.AddDense([]float64{1, 1}, lp.GE, 3) // impossible for two binaries
 	prob := NewBinaryProblem(p, []int{0, 1})
-	res, err := Solve(prob, Options{Maximize: true})
+	res, err := Solve(context.Background(), prob, Options{Maximize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestUnboundedILP(t *testing.T) {
 	p := lp.NewProblem(1)
 	p.SetObjective([]float64{1}, true)
 	prob := &Problem{LP: p, Integer: []bool{false}}
-	res, err := Solve(prob, Options{Maximize: true})
+	res, err := Solve(context.Background(), prob, Options{Maximize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestMixedIntegerProblem(t *testing.T) {
 	p.SetBounds(0, 0, 2.5)
 	p.AddDense([]float64{1, 4}, lp.LE, 5)
 	prob := NewBinaryProblem(p, []int{1})
-	res, err := Solve(prob, Options{Maximize: true})
+	res, err := Solve(context.Background(), prob, Options{Maximize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestTimeLimitReturnsQuickly(t *testing.T) {
 	}
 	prob := NewBinaryProblem(p, vars)
 	start := time.Now()
-	res, err := Solve(prob, Options{Maximize: true, TimeLimit: 50 * time.Millisecond})
+	res, err := Solve(context.Background(), prob, Options{Maximize: true, TimeLimit: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestNodeLimit(t *testing.T) {
 	p.SetObjective([]float64{2, 3, 4}, true)
 	p.AddDense([]float64{1, 1, 1}, lp.LE, 1.5)
 	prob := NewBinaryProblem(p, []int{0, 1, 2})
-	res, err := Solve(prob, Options{Maximize: true, MaxNodes: 1})
+	res, err := Solve(context.Background(), prob, Options{Maximize: true, MaxNodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,10 +151,10 @@ func TestNodeLimit(t *testing.T) {
 }
 
 func TestBadProblem(t *testing.T) {
-	if _, err := Solve(&Problem{LP: lp.NewProblem(2), Integer: []bool{true}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), &Problem{LP: lp.NewProblem(2), Integer: []bool{true}}, Options{}); err == nil {
 		t.Error("expected error for mismatched integrality flags")
 	}
-	if _, err := Solve(nil, Options{}); err == nil {
+	if _, err := Solve(context.Background(), nil, Options{}); err == nil {
 		t.Error("expected error for nil problem")
 	}
 }
@@ -236,7 +237,7 @@ func TestRandomBinaryProgramsMatchBruteForce(t *testing.T) {
 			vars[j] = j
 		}
 		prob := NewBinaryProblem(p, vars)
-		res, err := Solve(prob, Options{Maximize: true})
+		res, err := Solve(context.Background(), prob, Options{Maximize: true})
 		if err != nil || res.Status != Optimal {
 			return false
 		}

@@ -6,7 +6,10 @@
 // that minimizes the MCC writing time.
 package oned
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // LPBackend selects how the LP relaxation of formulation (4) is solved in
 // each successive-rounding iteration.
@@ -82,6 +85,12 @@ type Options struct {
 	// the ablation benches; the paper's flow keeps it false.
 	StaticProfit bool
 
+	// Workers bounds the number of goroutines used for the parallel stages
+	// (per-row DP refinement, per-region time/profit evaluation). 0 means
+	// one worker per CPU; 1 forces the fully sequential flow. The planner
+	// returns the same solution for every worker count.
+	Workers int
+
 	// Backend selects the LP relaxation solver.
 	Backend LPBackend
 
@@ -146,6 +155,14 @@ func (o Options) withDefaults() Options {
 		o.ConvergenceFraction = d.ConvergenceFraction
 	}
 	return o
+}
+
+// workerCount resolves Options.Workers: 0 means one worker per CPU.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Trace records per-iteration statistics of the successive-rounding loop;

@@ -20,6 +20,9 @@ import (
 // on-stencil characters.
 func (s *solver) postSwap() {
 	for pass := 0; pass < 8; pass++ {
+		if s.ctx.Err() != nil {
+			return
+		}
 		if !s.postSwapOnce() {
 			return
 		}
@@ -150,6 +153,9 @@ func sumTimes(times []int64) int64 {
 // so trailing slack in the rows never goes unused.
 func (s *solver) postInsert() {
 	for pass := 0; pass < 12; pass++ {
+		if s.ctx.Err() != nil {
+			return
+		}
 		if s.postInsertOnce() == 0 {
 			break
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"eblow/internal/core"
+	"eblow/internal/par"
 )
 
 // This file implements the refinement stage (Algorithm 3 of the paper): a
@@ -138,18 +139,26 @@ func positionsForOrder(in *core.Instance, order []int) []int {
 }
 
 // refineAllRows orders every row, legalising rows that overflow the stencil
-// width by evicting their lowest-profit characters.
+// width by evicting their lowest-profit characters. Rows are refined on the
+// worker pool: the DP and the eviction loop of row j only touch row j's
+// state and the characters assigned to it (unassign on an evicted character
+// mutates s.rows[j], s.assigned[i] and s.solved[i] for a character i that no
+// other row holds), so rows are independent and the outcome is identical for
+// any worker count.
 func (s *solver) refineAllRows() {
 	profits := s.currentProfits()
-	for j := range s.rows {
+	par.For(s.opt.workerCount(), s.m, func(j int) {
 		r := &s.rows[j]
 		if len(r.chars) == 0 {
 			r.order, r.width = nil, 0
-			continue
+			return
 		}
 		order := refineRow(s.in, r.chars, s.opt.PruneThreshold)
 		width := core.MinRowLength(s.in, order)
 		for width > s.w && len(order) > 0 {
+			if s.ctx.Err() != nil {
+				break // Solve surfaces ctx.Err(); partial orders are discarded
+			}
 			// Evict the lowest-profit character and re-run the ordering.
 			worst := 0
 			for k := 1; k < len(order); k++ {
@@ -165,7 +174,7 @@ func (s *solver) refineAllRows() {
 		}
 		r.order = order
 		r.width = width
-	}
+	})
 }
 
 // rowWidthWithOrder recomputes a row's packed width for an arbitrary order.

@@ -84,7 +84,10 @@ func bruteInsertionMin(in *core.Instance, chars []int) int {
 
 // Property: with a large pruning threshold the DP finds the optimum over its
 // insertion solution space, and with the default threshold it never does
-// worse than the naive blank-sorted order.
+// worse than the naive blank-sorted order. The quick source is pinned: the
+// second property only holds for the naive order with the DP's own
+// tie-break (see sortedByBlankOrder), and a fixed seed keeps the suite
+// reproducible either way.
 func TestRefineRowMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -107,18 +110,22 @@ func TestRefineRowMatchesBruteForce(t *testing.T) {
 		sorted := core.MinRowLength(in, sortedByBlankOrder(in, chars))
 		return core.MinRowLength(in, pruned) <= sorted
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }
 
 // sortedByBlankOrder returns characters ordered by decreasing symmetric
-// blank (the naive greedy order without end-choice optimisation).
+// blank, ties by ascending id — the same ordering rule refineRow uses, so
+// this order is always inside the DP's insertion space (all-right
+// insertions) and the DP can never do worse than it.
 func sortedByBlankOrder(in *core.Instance, chars []int) []int {
 	out := append([]int(nil), chars...)
 	for i := 0; i < len(out); i++ {
 		for j := i + 1; j < len(out); j++ {
-			if in.Characters[out[j]].SymmetricHBlank() > in.Characters[out[i]].SymmetricHBlank() {
+			si := in.Characters[out[i]].SymmetricHBlank()
+			sj := in.Characters[out[j]].SymmetricHBlank()
+			if sj > si || (sj == si && out[j] < out[i]) {
 				out[i], out[j] = out[j], out[i]
 			}
 		}

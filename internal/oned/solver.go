@@ -1,6 +1,7 @@
 package oned
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,10 +11,12 @@ import (
 	"eblow/internal/ilp"
 	"eblow/internal/knapsack"
 	"eblow/internal/lp"
+	"eblow/internal/par"
 )
 
 // solver holds the working state of one E-BLOW 1D run.
 type solver struct {
+	ctx context.Context
 	in  *core.Instance
 	opt Options
 
@@ -46,9 +49,16 @@ type rowState struct {
 }
 
 // Solve runs the full E-BLOW 1D flow on the instance and returns the stencil
-// plan plus the iteration trace.
-func Solve(in *core.Instance, opt Options) (*core.Solution, *Trace, error) {
+// plan plus the iteration trace. The context cancels the run between stages
+// and between rounding iterations: an already-done context returns ctx.Err()
+// before any work happens, and a context that expires mid-run stops the
+// planner at the next checkpoint with ctx.Err(). The flow is deterministic
+// for a given instance and options regardless of opt.Workers.
+func Solve(ctx context.Context, in *core.Instance, opt Options) (*core.Solution, *Trace, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -58,6 +68,7 @@ func Solve(in *core.Instance, opt Options) (*core.Solution, *Trace, error) {
 	opt = opt.withDefaults()
 
 	s := &solver{
+		ctx: ctx,
 		in:  in,
 		opt: opt,
 		n:   in.NumCharacters(),
@@ -85,16 +96,28 @@ func Solve(in *core.Instance, opt Options) (*core.Solution, *Trace, error) {
 	}
 
 	s.successiveRounding()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if opt.EnableFastConvergence {
 		s.fastConvergence()
 		s.convergeTail()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	s.refineAllRows()
 	if opt.EnablePostSwap {
 		s.postSwap()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if opt.EnablePostInsertion {
 		s.postInsert()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	sol := s.buildSolution()
@@ -116,19 +139,47 @@ func (s *solver) selection() []bool {
 	return sel
 }
 
-// regionTimes returns the current per-region writing times.
+// regionTimes returns the current per-region writing times. Regions are
+// evaluated on the worker pool; each worker owns whole regions, so the
+// result matches the sequential core.Instance.RegionTimes exactly.
 func (s *solver) regionTimes() []int64 {
-	return s.in.RegionTimes(s.selection())
+	sel := s.selection()
+	t := s.in.VSBTime()
+	par.For(s.opt.workerCount(), len(t), func(r int) {
+		for i, on := range sel {
+			if on {
+				t[r] -= s.in.Reduction(i, r)
+			}
+		}
+	})
+	return t
 }
 
 // currentProfits evaluates the profit of every character for the current
 // selection: the dynamic Eqn. (6) value by default, or the static total
-// reduction when the StaticProfit ablation is enabled.
+// reduction when the StaticProfit ablation is enabled. The per-character
+// profit sums are independent, so they are computed on the worker pool with
+// each worker writing only its own indices — bit-identical to the
+// sequential core.Instance.Profits for any worker count.
 func (s *solver) currentProfits() []float64 {
 	if s.opt.StaticProfit {
 		return s.in.StaticProfits()
 	}
-	return s.in.Profits(s.regionTimes())
+	times := s.regionTimes()
+	tmax := core.MaxInt64(times)
+	profits := make([]float64, s.n)
+	if tmax <= 0 {
+		return profits
+	}
+	par.For(s.opt.workerCount(), s.n, func(i int) {
+		var p float64
+		for r, rep := range s.in.Characters[i].Repeats {
+			w := float64(times[r]) / float64(tmax)
+			p += w * float64(s.in.Characters[i].VSBShots-1) * float64(rep)
+		}
+		profits[i] = p
+	})
+	return profits
 }
 
 // fits reports whether character i can be added to row j under the
@@ -289,6 +340,9 @@ func (s *solver) successiveRounding() {
 		value     float64
 	}
 	for iter := 0; iter < s.opt.MaxIterations; iter++ {
+		if s.ctx.Err() != nil {
+			return
+		}
 		unsolved := s.unsolvedIDs()
 		if len(unsolved) == 0 {
 			return
@@ -490,7 +544,7 @@ func (s *solver) fastConvergence() {
 	for _, terms := range charTerms {
 		prob.AddConstraint(terms, lp.LE, 1)
 	}
-	res, err := ilp.Solve(ilp.NewBinaryProblem(prob, binaries), ilp.Options{
+	res, err := ilp.Solve(s.ctx, ilp.NewBinaryProblem(prob, binaries), ilp.Options{
 		Maximize:  true,
 		TimeLimit: s.opt.ILPTimeLimit,
 	})

@@ -1,6 +1,7 @@
 package oned
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -11,7 +12,7 @@ import (
 
 func solveInstance(t *testing.T, in *core.Instance, opt Options) (*core.Solution, *Trace) {
 	t.Helper()
-	sol, trace, err := Solve(in, opt)
+	sol, trace, err := Solve(context.Background(), in, opt)
 	if err != nil {
 		t.Fatalf("Solve(%s): %v", in.Name, err)
 	}
@@ -49,17 +50,17 @@ func TestSolveSingleCP(t *testing.T) {
 }
 
 func TestSolveRejectsBadInstances(t *testing.T) {
-	if _, _, err := Solve(&core.Instance{}, Defaults()); err == nil {
+	if _, _, err := Solve(context.Background(), &core.Instance{}, Defaults()); err == nil {
 		t.Error("empty instance should be rejected")
 	}
 	in := gen.Small(core.TwoD, 20, 1, 3)
-	if _, _, err := Solve(in, Defaults()); err == nil {
+	if _, _, err := Solve(context.Background(), in, Defaults()); err == nil {
 		t.Error("2D instance should be rejected by the 1D planner")
 	}
 	// Stencil too short for even one row.
 	bad := gen.Small(core.OneD, 10, 1, 3)
 	bad.StencilHeight = 10
-	if _, _, err := Solve(bad, Defaults()); err == nil {
+	if _, _, err := Solve(context.Background(), bad, Defaults()); err == nil {
 		t.Error("instance without rows should be rejected")
 	}
 }
@@ -162,7 +163,7 @@ func TestSolveAlwaysValidProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		n := 20 + int(seed%40+40)%40
 		in := gen.Small(core.OneD, n, 1+int(seed%5+5)%5, seed)
-		sol, _, err := Solve(in, Defaults())
+		sol, _, err := Solve(context.Background(), in, Defaults())
 		if err != nil {
 			return false
 		}
@@ -193,11 +194,11 @@ func TestPostStagesMonotoneSelection(t *testing.T) {
 		base := Defaults()
 		base.EnablePostInsertion = false
 		base.EnablePostSwap = false
-		solBase, _, err := Solve(in, base)
+		solBase, _, err := Solve(context.Background(), in, base)
 		if err != nil || solBase.Validate(in) != nil {
 			return false
 		}
-		full, _, err := Solve(in, Defaults())
+		full, _, err := Solve(context.Background(), in, Defaults())
 		if err != nil || full.Validate(in) != nil {
 			return false
 		}

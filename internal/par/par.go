@@ -1,0 +1,74 @@
+// Package par provides the tiny deterministic fork-join primitives the
+// solver packages share. Both helpers guarantee that work item i only ever
+// touches slot i of whatever slices the caller indexes by i, so results are
+// identical for any worker count — the merge order is the index order, never
+// the completion order.
+package par
+
+import "sync"
+
+// For runs fn(i) for every i in [0, n), spread over at most workers
+// goroutines (workers <= 1 runs inline). fn must confine its writes to data
+// owned by index i; under that contract the outcome is independent of the
+// worker count and scheduling.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	// Contiguous chunks: cache-friendly and at most `workers` goroutines.
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently, at most workers at a time
+// (workers <= 1 runs them sequentially in order), and waits for all of them.
+func Do(workers int, fns ...func()) {
+	if workers <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	if workers > len(fns) {
+		workers = len(fns)
+	}
+	var wg sync.WaitGroup
+	next := make(chan func())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fn := range next {
+				fn()
+			}
+		}()
+	}
+	for _, fn := range fns {
+		next <- fn
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,68 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 103
+		hits := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	if called {
+		t.Error("For called fn for n=0")
+	}
+}
+
+func TestForResultIndependentOfWorkers(t *testing.T) {
+	const n = 50
+	want := make([]int, n)
+	For(1, n, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	For(8, n, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d differs: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDoRunsEverything(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var count int32
+		fns := make([]func(), 9)
+		for i := range fns {
+			fns[i] = func() { atomic.AddInt32(&count, 1) }
+		}
+		Do(workers, fns...)
+		if count != 9 {
+			t.Fatalf("workers=%d: ran %d of 9 tasks", workers, count)
+		}
+	}
+}
+
+func TestDoSequentialOrder(t *testing.T) {
+	var order []int
+	Do(1,
+		func() { order = append(order, 0) },
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+	)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential Do ran out of order: %v", order)
+		}
+	}
+}

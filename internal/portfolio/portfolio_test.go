@@ -1,0 +1,131 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"eblow/internal/core"
+	"eblow/internal/gen"
+)
+
+func TestRace1D(t *testing.T) {
+	in := gen.Small(core.OneD, 60, 3, 11)
+	res, err := Solve(context.Background(), in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Winner == "" {
+		t.Fatal("race produced no winner")
+	}
+	if err := res.Best.Validate(in); err != nil {
+		t.Fatalf("winning plan invalid: %v", err)
+	}
+	if len(res.Runs) != len(Names(core.OneD)) {
+		t.Fatalf("expected %d runs, got %d", len(Names(core.OneD)), len(res.Runs))
+	}
+	// The winner must be at least as good as every finished entrant.
+	for _, r := range res.Runs {
+		if r.Solution != nil && r.Solution.WritingTime < res.Best.WritingTime {
+			t.Errorf("%s (T=%d) beat the declared winner %s (T=%d)",
+				r.Name, r.Solution.WritingTime, res.Winner, res.Best.WritingTime)
+		}
+	}
+}
+
+func TestRace2D(t *testing.T) {
+	in := gen.Small(core.TwoD, 40, 2, 12)
+	res, err := Solve(context.Background(), in, Options{Seed: 1, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(in); err != nil {
+		t.Fatalf("winning plan invalid: %v", err)
+	}
+	if len(res.Runs) != len(Names(core.TwoD)) {
+		t.Fatalf("expected %d runs, got %d", len(Names(core.TwoD)), len(res.Runs))
+	}
+}
+
+// Same seed, 1 worker vs many workers: identical winner and identical plan.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, kind := range []core.Kind{core.OneD, core.TwoD} {
+		in := gen.Small(kind, 50, 2, 21)
+		var ref *Result
+		for _, workers := range []int{1, 4} {
+			res, err := Solve(context.Background(), in, Options{Workers: workers, Seed: 5, Restarts: 2})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", kind, workers, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Winner != ref.Winner {
+				t.Errorf("%s: winner changed with worker count: %s vs %s", kind, ref.Winner, res.Winner)
+			}
+			if res.Best.WritingTime != ref.Best.WritingTime {
+				t.Errorf("%s: writing time changed with worker count: %d vs %d",
+					kind, ref.Best.WritingTime, res.Best.WritingTime)
+			}
+			if !reflect.DeepEqual(res.Best.Selected, ref.Best.Selected) ||
+				!reflect.DeepEqual(res.Best.Placements, ref.Best.Placements) {
+				t.Errorf("%s: plan changed with worker count", kind)
+			}
+		}
+	}
+}
+
+func TestCancelledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := gen.Small(core.OneD, 40, 2, 3)
+	start := time.Now()
+	_, err := Solve(ctx, in, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled solve took %s", d)
+	}
+}
+
+// A deadline that cuts off the heavy strategies must still yield a feasible
+// plan from the cheap deterministic ones.
+func TestDeadlineStillYieldsFeasiblePlan(t *testing.T) {
+	in := gen.Small(core.OneD, 150, 4, 9)
+	res, err := Solve(context.Background(), in, Options{Timeout: 5 * time.Millisecond})
+	if err != nil {
+		// On very slow machines even the greedy pass may not finish; only a
+		// deadline error is acceptable then.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrNoSolution) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		t.Skipf("machine too slow for 5ms race: %v", err)
+	}
+	if err := res.Best.Validate(in); err != nil {
+		t.Fatalf("plan under deadline invalid: %v", err)
+	}
+}
+
+func TestOnlyFiltersStrategies(t *testing.T) {
+	in := gen.Small(core.OneD, 30, 1, 2)
+	res, err := Solve(context.Background(), in, Options{Only: []string{"greedy", "row25"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("expected 2 runs, got %d", len(res.Runs))
+	}
+	if _, err := Solve(context.Background(), in, Options{Only: []string{"sa24"}}); err == nil {
+		t.Error("2D-only strategy accepted for a 1D instance")
+	}
+}
+
+func TestRejectsInvalidInstance(t *testing.T) {
+	if _, err := Solve(context.Background(), &core.Instance{}, Options{}); err == nil {
+		t.Error("empty instance accepted")
+	}
+}

@@ -5,6 +5,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,6 +47,9 @@ type Config struct {
 	// ExactTimeLimit bounds each exact ILP solve of Table 5 (default 20s;
 	// the paper used 3600s, the shape — which cases finish — is the same).
 	ExactTimeLimit time.Duration
+	// Workers bounds the goroutines used by the parallel solver stages
+	// (0 = one per CPU). Results are identical for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +91,7 @@ func resultFromSolution(alg string, sol *core.Solution) AlgoResult {
 
 // Table3 reproduces the 1DOSP comparison: greedy, the prior-work heuristic
 // [24], the row-structure heuristic [25], and E-BLOW, on the given cases.
-func Table3(cases []string, cfg Config) ([]Row, error) {
+func Table3(ctx context.Context, cases []string, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Row
 	for _, name := range cases {
@@ -103,7 +107,7 @@ func Table3(cases []string, cfg Config) ([]Row, error) {
 		}
 		row.Results = append(row.Results, resultFromSolution("Greedy[24]", g))
 
-		h, err := baseline.Heuristic1D(in, baseline.Heuristic1DOptions{Seed: cfg.Seed})
+		h, err := baseline.Heuristic1D(ctx, in, baseline.Heuristic1DOptions{Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("%s heuristic: %w", name, err)
 		}
@@ -115,7 +119,9 @@ func Table3(cases []string, cfg Config) ([]Row, error) {
 		}
 		row.Results = append(row.Results, resultFromSolution("[25]", r))
 
-		e, _, err := oned.Solve(in, oned.Defaults())
+		eopt := oned.Defaults()
+		eopt.Workers = cfg.Workers
+		e, _, err := oned.Solve(ctx, in, eopt)
 		if err != nil {
 			return nil, fmt.Errorf("%s e-blow: %w", name, err)
 		}
@@ -128,7 +134,7 @@ func Table3(cases []string, cfg Config) ([]Row, error) {
 
 // Table4 reproduces the 2DOSP comparison: greedy, the prior-work SA
 // floorplanner [24], and E-BLOW.
-func Table4(cases []string, cfg Config) ([]Row, error) {
+func Table4(ctx context.Context, cases []string, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Row
 	for _, name := range cases {
@@ -144,7 +150,7 @@ func Table4(cases []string, cfg Config) ([]Row, error) {
 		}
 		row.Results = append(row.Results, resultFromSolution("Greedy[24]", g))
 
-		sa, err := baseline.SA2D(in, baseline.SA2DOptions{Seed: cfg.Seed, TimeLimit: cfg.SATimeLimit})
+		sa, err := baseline.SA2D(ctx, in, baseline.SA2DOptions{Seed: cfg.Seed, TimeLimit: cfg.SATimeLimit, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s SA: %w", name, err)
 		}
@@ -153,7 +159,8 @@ func Table4(cases []string, cfg Config) ([]Row, error) {
 		opt := twod.Defaults()
 		opt.Seed = cfg.Seed
 		opt.TimeLimit = cfg.EBlow2DTimeLimit
-		e, _, err := twod.Solve(in, opt)
+		opt.Workers = cfg.Workers
+		e, _, err := twod.Solve(ctx, in, opt)
 		if err != nil {
 			return nil, fmt.Errorf("%s e-blow: %w", name, err)
 		}
@@ -167,7 +174,7 @@ func Table4(cases []string, cfg Config) ([]Row, error) {
 // Table5 compares the exact ILP formulations against E-BLOW on the tiny 1T/2T
 // cases. A missing writing time (-1) means the ILP hit its time limit without
 // an incumbent, mirroring the "NA" entries of the paper.
-func Table5(cfg Config) ([]Row, error) {
+func Table5(ctx context.Context, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Row
 	for _, name := range Table5Cases() {
@@ -179,9 +186,9 @@ func Table5(cfg Config) ([]Row, error) {
 
 		var exactRes *exact.Result
 		if in.Kind == core.OneD {
-			exactRes, err = exact.Solve1D(in, cfg.ExactTimeLimit)
+			exactRes, err = exact.Solve1D(ctx, in, cfg.ExactTimeLimit)
 		} else {
-			exactRes, err = exact.Solve2D(in, cfg.ExactTimeLimit)
+			exactRes, err = exact.Solve2D(ctx, in, cfg.ExactTimeLimit)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%s exact: %w", name, err)
@@ -195,11 +202,14 @@ func Table5(cfg Config) ([]Row, error) {
 
 		var heur *core.Solution
 		if in.Kind == core.OneD {
-			heur, _, err = oned.Solve(in, oned.Defaults())
+			hopt := oned.Defaults()
+			hopt.Workers = cfg.Workers
+			heur, _, err = oned.Solve(ctx, in, hopt)
 		} else {
 			opt := twod.Defaults()
 			opt.Seed = cfg.Seed
-			heur, _, err = twod.Solve(in, opt)
+			opt.Workers = cfg.Workers
+			heur, _, err = twod.Solve(ctx, in, opt)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%s e-blow: %w", name, err)
@@ -212,7 +222,7 @@ func Table5(cfg Config) ([]Row, error) {
 
 // Fig5 returns the unsolved-character counts per successive-rounding
 // iteration for the given 1D cases (Fig. 5 of the paper).
-func Fig5(cases []string) (map[string][]int, error) {
+func Fig5(ctx context.Context, cases []string, cfg Config) (map[string][]int, error) {
 	out := make(map[string][]int)
 	for _, name := range cases {
 		in, err := gen.ByName(name)
@@ -221,7 +231,8 @@ func Fig5(cases []string) (map[string][]int, error) {
 		}
 		opt := oned.Defaults()
 		opt.CollectTrace = true
-		_, trace, err := oned.Solve(in, opt)
+		opt.Workers = cfg.Workers
+		_, trace, err := oned.Solve(ctx, in, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -232,14 +243,15 @@ func Fig5(cases []string) (map[string][]int, error) {
 
 // Fig6 returns the histogram (10 buckets of width 0.1) of the fractional LP
 // values in the last rounding iteration of the given case (Fig. 6).
-func Fig6(caseName string) ([]int, error) {
+func Fig6(ctx context.Context, caseName string, cfg Config) ([]int, error) {
 	in, err := gen.ByName(caseName)
 	if err != nil {
 		return nil, err
 	}
 	opt := oned.Defaults()
 	opt.CollectTrace = true
-	_, trace, err := oned.Solve(in, opt)
+	opt.Workers = cfg.Workers
+	_, trace, err := oned.Solve(ctx, in, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +279,7 @@ type AblationRow struct {
 }
 
 // Ablation runs the E-BLOW-0 vs E-BLOW-1 comparison of Figs. 11 and 12.
-func Ablation(cases []string) ([]AblationRow, error) {
+func Ablation(ctx context.Context, cases []string, cfg Config) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, name := range cases {
 		in, err := gen.ByName(name)
@@ -277,11 +289,14 @@ func Ablation(cases []string) ([]AblationRow, error) {
 		opt0 := oned.Defaults()
 		opt0.EnableFastConvergence = false
 		opt0.EnablePostInsertion = false
-		s0, _, err := oned.Solve(in, opt0)
+		opt0.Workers = cfg.Workers
+		s0, _, err := oned.Solve(ctx, in, opt0)
 		if err != nil {
 			return nil, err
 		}
-		s1, _, err := oned.Solve(in, oned.Defaults())
+		opt1 := oned.Defaults()
+		opt1.Workers = cfg.Workers
+		s1, _, err := oned.Solve(ctx, in, opt1)
 		if err != nil {
 			return nil, err
 		}

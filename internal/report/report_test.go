@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -15,7 +16,10 @@ func quickConfig() Config {
 }
 
 func TestTable3Subset(t *testing.T) {
-	rows, err := Table3([]string{"1D-1"}, quickConfig())
+	if testing.Short() {
+		t.Skip("full experiment plumbing is slow; run without -short")
+	}
+	rows, err := Table3(context.Background(), []string{"1D-1"}, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +38,10 @@ func TestTable3Subset(t *testing.T) {
 }
 
 func TestTable4Subset(t *testing.T) {
-	rows, err := Table4([]string{"2D-1"}, quickConfig())
+	if testing.Short() {
+		t.Skip("full experiment plumbing is slow; run without -short")
+	}
+	rows, err := Table4(context.Background(), []string{"2D-1"}, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +51,14 @@ func TestTable4Subset(t *testing.T) {
 }
 
 func TestTable5SmallestCases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment plumbing is slow; run without -short")
+	}
 	// Run only through the plumbing for the smallest case of each family by
 	// constructing a config with a tiny time limit; the point is that the
 	// rows are produced and formatted, not that the ILP finishes.
 	cfg := quickConfig()
-	rows, err := Table5(cfg)
+	rows, err := Table5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,14 +72,17 @@ func TestTable5SmallestCases(t *testing.T) {
 }
 
 func TestFigures(t *testing.T) {
-	data, err := Fig5([]string{"1M-1"})
+	if testing.Short() {
+		t.Skip("full experiment plumbing is slow; run without -short")
+	}
+	data, err := Fig5(context.Background(), []string{"1M-1"}, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(data["1M-1"]) == 0 {
 		t.Error("Fig5 produced no iterations")
 	}
-	hist, err := Fig6("1M-1")
+	hist, err := Fig6(context.Background(), "1M-1", quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +95,10 @@ func TestFigures(t *testing.T) {
 }
 
 func TestAblation(t *testing.T) {
-	rows, err := Ablation([]string{"1D-1"})
+	if testing.Short() {
+		t.Skip("full experiment plumbing is slow; run without -short")
+	}
+	rows, err := Ablation(context.Background(), []string{"1D-1"}, quickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,105 @@
+package twod
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"eblow/internal/core"
+	"eblow/internal/gen"
+)
+
+// Same seed, 1 worker vs several, with multi-start annealing: identical
+// plan. Run with -race to exercise the parallel restarts and the
+// clustered-vs-fallback race.
+func TestSolveDeterministicAcrossWorkerCounts(t *testing.T) {
+	in := gen.Small(core.TwoD, 80, 2, 31)
+	var ref *core.Solution
+	for _, workers := range []int{1, 2, 8} {
+		opt := Defaults()
+		opt.Seed = 3
+		opt.MoveBudget = 4000
+		opt.Restarts = 3
+		opt.Workers = workers
+		sol, _, err := Solve(context.Background(), in, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := sol.Validate(in); err != nil {
+			t.Fatalf("workers=%d produced invalid solution: %v", workers, err)
+		}
+		if ref == nil {
+			ref = sol
+			continue
+		}
+		if sol.WritingTime != ref.WritingTime {
+			t.Errorf("workers=%d changed writing time: %d vs %d", workers, sol.WritingTime, ref.WritingTime)
+		}
+		if !reflect.DeepEqual(sol.Selected, ref.Selected) || !reflect.DeepEqual(sol.Placements, ref.Placements) {
+			t.Errorf("workers=%d changed the plan", workers)
+		}
+	}
+}
+
+// More restarts can only improve the best-of selection on the exact
+// evaluation, never regress it, because every restart is evaluated and the
+// shelf fallback is always in the comparison.
+func TestRestartsNeverRegress(t *testing.T) {
+	in := gen.Small(core.TwoD, 60, 2, 7)
+	base := Defaults()
+	base.Seed = 1
+	base.MoveBudget = 3000
+	one, _, err := Solve(context.Background(), in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.Restarts = 4
+	many, _, err := Solve(context.Background(), in, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.WritingTime > one.WritingTime {
+		t.Errorf("4 restarts (T=%d) worse than 1 (T=%d)", many.WritingTime, one.WritingTime)
+	}
+}
+
+// A deadline that expires during the annealing stage truncates the schedule
+// like Options.TimeLimit: the solver returns the best legalised plan found
+// so far rather than discarding finished work.
+func TestDeadlineDuringAnnealReturnsBestSoFar(t *testing.T) {
+	in := gen.Small(core.TwoD, 120, 2, 19)
+	opt := Defaults()
+	opt.Seed = 1
+	opt.MoveBudget = 50_000_000 // would run for minutes uncut
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	sol, _, err := Solve(ctx, in, opt)
+	if err != nil {
+		// Only tolerable if the deadline fired before annealing began
+		// (pathologically slow machine).
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		t.Skipf("deadline fired before the annealing stage: %v", err)
+	}
+	if err := sol.Validate(in); err != nil {
+		t.Fatalf("truncated solve returned an invalid plan: %v", err)
+	}
+}
+
+func TestSolveCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := gen.Small(core.TwoD, 50, 2, 5)
+	start := time.Now()
+	_, _, err := Solve(ctx, in, Defaults())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled solve took %s", d)
+	}
+}

@@ -8,8 +8,10 @@
 package twod
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"eblow/internal/floorsa"
 	"eblow/internal/kdtree"
 	"eblow/internal/pack2d"
+	"eblow/internal/par"
 )
 
 // Options configures the E-BLOW 2D planner. The zero value is completed with
@@ -36,6 +39,17 @@ type Options struct {
 	Seed int64
 	// TimeLimit bounds the annealing run (0 = no limit).
 	TimeLimit time.Duration
+	// Restarts is the number of independent annealing restarts raced inside
+	// the floorplanner (best-of wins); 0 means 1.
+	Restarts int
+	// Workers bounds the number of goroutines used by the parallel stages
+	// (block preparation, annealing restarts, and the clustered-vs-fallback
+	// race). 0 means one worker per CPU; 1 forces the sequential flow. As
+	// long as no TimeLimit or context deadline truncates the annealing
+	// schedule, the planner returns the same solution for every worker
+	// count; a truncated schedule stops on wall clock, which no worker
+	// count can make reproducible.
+	Workers int
 
 	// EnableClustering and EnablePreFilter exist for the ablation benches;
 	// the E-BLOW flow keeps both enabled.
@@ -63,7 +77,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxClusterMembers <= 0 {
 		o.MaxClusterMembers = d.MaxClusterMembers
 	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
 	return o
+}
+
+// workerCount resolves Options.Workers: 0 means one worker per CPU.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // cluster is a group of characters packed side by side that the annealer
@@ -86,9 +111,18 @@ type Stats struct {
 }
 
 // Solve runs the E-BLOW 2D flow and returns the stencil plan plus clustering
-// statistics.
-func Solve(in *core.Instance, opt Options) (*core.Solution, *Stats, error) {
+// statistics. The context cancels the run: an already-done context returns
+// ctx.Err() before any work happens and a context that expires before the
+// annealing stage surfaces ctx.Err(); one that expires during annealing
+// truncates the schedule like Options.TimeLimit and the best legalised
+// floorplan found so far is still returned. The flow is deterministic for
+// a given seed regardless of opt.Workers, provided no TimeLimit or
+// deadline cuts the annealing schedule short (see Options.Workers).
+func Solve(ctx context.Context, in *core.Instance, opt Options) (*core.Solution, *Stats, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -96,6 +130,7 @@ func Solve(in *core.Instance, opt Options) (*core.Solution, *Stats, error) {
 		return nil, nil, fmt.Errorf("twod: instance %q is not a 2DOSP instance", in.Name)
 	}
 	opt = opt.withDefaults()
+	workers := opt.workerCount()
 	stats := &Stats{Candidates: in.NumCharacters()}
 
 	profits := in.StaticProfits()
@@ -108,46 +143,73 @@ func Solve(in *core.Instance, opt Options) (*core.Solution, *Stats, error) {
 	}
 	stats.AfterFilter = len(ids)
 
+	// Per-candidate reduction vectors feed both the clustered blocks and the
+	// fallback blocks; each slot is owned by one candidate, so the worker
+	// pool fills them without coordination.
+	reds := make([][]int64, in.NumCharacters())
+	par.For(workers, len(ids), func(k int) {
+		id := ids[k]
+		r := make([]int64, in.NumRegions)
+		for c := range r {
+			r[c] = in.Reduction(id, c)
+		}
+		reds[id] = r
+	})
+
 	// Clustering (Algorithm 4).
-	clusters := buildClusters(in, ids, profits, opt, stats)
+	clusters := buildClusters(in, ids, profits, reds, opt, stats)
 	stats.Clusters = len(clusters)
 	stats.ClusteredAway = stats.AfterFilter - len(clusters)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
-	// Annealing over the clustered blocks with the MCC (max) objective.
+	// Annealing over the clustered blocks with the MCC (max) objective, and
+	// — because clustering occasionally costs more stencil area than it
+	// saves in search effort — the plain per-character shelf floorplan as a
+	// fallback. The two packings are independent, so they race on the
+	// worker pool; whichever selection writes faster wins.
 	blocks := make([]floorsa.Block, len(clusters))
 	for k, cl := range clusters {
 		blocks[k] = floorsa.Block{Block: cl.block, Reductions: cl.reds}
 	}
-	vsb := in.VSBTime()
-	res := floorsa.Pack(blocks, vsb, in.StencilWidth, in.StencilHeight, floorsa.Options{
-		MoveBudget: opt.MoveBudget,
-		Seed:       opt.Seed,
-		TimeLimit:  opt.TimeLimit,
-	})
-
-	// Clustering occasionally costs more stencil area than it saves in
-	// search effort; evaluate the plain per-character shelf floorplan as a
-	// fallback and keep whichever selection writes faster.
 	charBlocks := make([]floorsa.Block, len(ids))
-	for k, id := range ids {
+	par.For(workers, len(ids), func(k int) {
+		id := ids[k]
 		c := in.Characters[id]
-		reds := make([]int64, in.NumRegions)
-		for r := range reds {
-			reds[r] = in.Reduction(id, r)
-		}
 		charBlocks[k] = floorsa.Block{
 			Block: pack2d.Block{
 				W: c.Width, H: c.Height,
 				BlankL: c.BlankLeft, BlankR: c.BlankRight,
 				BlankT: c.BlankTop, BlankB: c.BlankBottom,
 			},
-			Reductions: reds,
+			Reductions: reds[id],
 		}
-	}
-	fallback := floorsa.Pack(charBlocks, vsb, in.StencilWidth, in.StencilHeight, floorsa.Options{
-		Seed:       opt.Seed,
-		SkipAnneal: true,
 	})
+	vsb := in.VSBTime()
+	var res, fallback *floorsa.Result
+	par.Do(workers,
+		func() {
+			res = floorsa.Pack(ctx, blocks, vsb, in.StencilWidth, in.StencilHeight, floorsa.Options{
+				MoveBudget: opt.MoveBudget,
+				Seed:       opt.Seed,
+				TimeLimit:  opt.TimeLimit,
+				Restarts:   opt.Restarts,
+				Workers:    workers,
+			})
+		},
+		func() {
+			fallback = floorsa.Pack(ctx, charBlocks, vsb, in.StencilWidth, in.StencilHeight, floorsa.Options{
+				Seed:       opt.Seed,
+				SkipAnneal: true,
+			})
+		},
+	)
+	// No ctx check here on purpose: a deadline that expired during the
+	// annealing truncated the schedule exactly like Options.TimeLimit, and
+	// Pack already legalised the best floorplan found — returning it beats
+	// discarding finished work (the portfolio relies on this to let a
+	// truncated E-BLOW entrant still compete).
 
 	sol := &core.Solution{Selected: make([]bool, in.NumCharacters())}
 	if res.WritingTime <= fallback.WritingTime {
@@ -255,11 +317,11 @@ func similar(in *core.Instance, profits []float64, i, j int, bound float64) bool
 
 // buildClusters runs Algorithm 4: candidates sorted by profit repeatedly
 // absorb similar unclustered candidates found through KD-tree range queries.
-func buildClusters(in *core.Instance, ids []int, profits []float64, opt Options, stats *Stats) []cluster {
+func buildClusters(in *core.Instance, ids []int, profits []float64, reds [][]int64, opt Options, stats *Stats) []cluster {
 	clusters := make([]cluster, 0, len(ids))
 	if opt.DisableClustering {
 		for _, id := range ids {
-			clusters = append(clusters, singletonCluster(in, profits, id))
+			clusters = append(clusters, singletonCluster(in, profits, reds, id))
 		}
 		return clusters
 	}
@@ -285,7 +347,7 @@ func buildClusters(in *core.Instance, ids []int, profits []float64, opt Options,
 		if clustered[id] {
 			continue
 		}
-		cl := singletonCluster(in, profits, id)
+		cl := singletonCluster(in, profits, reds, id)
 		clustered[id] = true
 		tree.Delete(id)
 		// Grow the cluster while similar unclustered candidates exist.
@@ -300,7 +362,7 @@ func buildClusters(in *core.Instance, ids []int, profits []float64, opt Options,
 			found := -1
 			for _, cand := range tree.Range(lo, hi) {
 				if !clustered[cand] && similar(in, profits, id, cand, opt.SimilarityBound) &&
-					absorb(in, profits, &cl, cand) {
+					absorb(in, profits, reds, &cl, cand) {
 					found = cand
 					break
 				}
@@ -316,12 +378,8 @@ func buildClusters(in *core.Instance, ids []int, profits []float64, opt Options,
 	return clusters
 }
 
-func singletonCluster(in *core.Instance, profits []float64, id int) cluster {
+func singletonCluster(in *core.Instance, profits []float64, reds [][]int64, id int) cluster {
 	c := in.Characters[id]
-	reds := make([]int64, in.NumRegions)
-	for r := range reds {
-		reds[r] = in.Reduction(id, r)
-	}
 	return cluster{
 		block: pack2d.Block{
 			W: c.Width, H: c.Height,
@@ -331,7 +389,7 @@ func singletonCluster(in *core.Instance, profits []float64, id int) cluster {
 		members: []int{id},
 		offsets: [][2]int{{0, 0}},
 		profit:  profits[id],
-		reds:    reds,
+		reds:    append([]int64(nil), reds[id]...),
 	}
 }
 
@@ -346,7 +404,7 @@ func singletonCluster(in *core.Instance, profits []float64, id int) cluster {
 // the perpendicular sides take the minimum over both members, which keeps
 // every later sharing decision with a neighbouring block conservative and
 // therefore legal.
-func absorb(in *core.Instance, profits []float64, cl *cluster, id int) bool {
+func absorb(in *core.Instance, profits []float64, reds [][]int64, cl *cluster, id int) bool {
 	c := in.Characters[id]
 
 	hShare := min(cl.block.BlankR, c.BlankLeft)
@@ -384,7 +442,7 @@ func absorb(in *core.Instance, profits []float64, cl *cluster, id int) bool {
 	cl.members = append(cl.members, id)
 	cl.profit += profits[id]
 	for r := range cl.reds {
-		cl.reds[r] += in.Reduction(id, r)
+		cl.reds[r] += reds[id][r]
 	}
 	return true
 }

@@ -1,6 +1,7 @@
 package twod
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -10,7 +11,7 @@ import (
 
 func TestSolveSmall2D(t *testing.T) {
 	in := gen.Small(core.TwoD, 60, 2, 5)
-	sol, stats, err := Solve(in, Defaults())
+	sol, stats, err := Solve(context.Background(), in, Defaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,24 +34,24 @@ func TestSolveSmall2D(t *testing.T) {
 }
 
 func TestSolveRejectsBadInput(t *testing.T) {
-	if _, _, err := Solve(&core.Instance{}, Defaults()); err == nil {
+	if _, _, err := Solve(context.Background(), &core.Instance{}, Defaults()); err == nil {
 		t.Error("empty instance accepted")
 	}
 	in1d := gen.Small(core.OneD, 20, 1, 3)
-	if _, _, err := Solve(in1d, Defaults()); err == nil {
+	if _, _, err := Solve(context.Background(), in1d, Defaults()); err == nil {
 		t.Error("1D instance accepted by 2D planner")
 	}
 }
 
 func TestClusteringReducesBlockCount(t *testing.T) {
 	in := gen.Small(core.TwoD, 120, 2, 9)
-	_, with, err := Solve(in, Defaults())
+	_, with, err := Solve(context.Background(), in, Defaults())
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt := Defaults()
 	opt.DisableClustering = true
-	_, without, err := Solve(in, opt)
+	_, without, err := Solve(context.Background(), in, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestPreFilterLimitsCandidates(t *testing.T) {
 	in := gen.Small(core.TwoD, 200, 2, 13)
 	opt := Defaults()
 	opt.PreFilterFactor = 0.5
-	_, stats, err := Solve(in, opt)
+	_, stats, err := Solve(context.Background(), in, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestPreFilterLimitsCandidates(t *testing.T) {
 		t.Errorf("pre-filter kept everything: %+v", stats)
 	}
 	opt.DisablePreFilter = true
-	_, stats2, err := Solve(in, opt)
+	_, stats2, err := Solve(context.Background(), in, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,8 +117,16 @@ func TestAbsorbKeepsMemberGeometryLegal(t *testing.T) {
 		})
 	}
 	profits := in.StaticProfits()
-	cl := singletonCluster(in, profits, 0)
-	if !absorb(in, profits, &cl, 1) || !absorb(in, profits, &cl, 2) {
+	reds := make([][]int64, in.NumCharacters())
+	for id := range reds {
+		r := make([]int64, in.NumRegions)
+		for c := range r {
+			r[c] = in.Reduction(id, c)
+		}
+		reds[id] = r
+	}
+	cl := singletonCluster(in, profits, reds, 0)
+	if !absorb(in, profits, reds, &cl, 1) || !absorb(in, profits, reds, &cl, 2) {
 		t.Fatal("merging identical characters must succeed")
 	}
 	if len(cl.members) != 3 || len(cl.offsets) != 3 {
@@ -165,7 +174,7 @@ func TestSolveAlwaysValid(t *testing.T) {
 		opt := Defaults()
 		opt.MoveBudget = 3000
 		opt.Seed = seed
-		sol, _, err := Solve(in, opt)
+		sol, _, err := Solve(context.Background(), in, opt)
 		if err != nil {
 			return false
 		}
