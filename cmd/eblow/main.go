@@ -1,11 +1,14 @@
 // Command eblow plans an e-beam stencil for one OSP instance. The instance
 // either comes from a JSON file (see cmd/ospgen) or is one of the named
-// synthetic benchmarks; the planner is E-BLOW by default, with the
-// prior-work baselines, the exact ILP and a parallel portfolio race of all
-// of them available for comparison.
+// synthetic benchmarks; the planner is any strategy of the unified solver
+// registry — E-BLOW by default, with the prior-work baselines, the exact
+// ILP and a parallel portfolio race of all of them available for
+// comparison. For a long-running batched service over the same solvers see
+// cmd/eblowd.
 //
 // Examples:
 //
+//	eblow -solvers
 //	eblow -benchmark 1M-2
 //	eblow -instance design.json -algorithm greedy
 //	eblow -benchmark 1T-3 -algorithm exact -timeout 30s
@@ -22,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"eblow"
@@ -34,7 +38,8 @@ func main() {
 	var (
 		instancePath = flag.String("instance", "", "path to an instance JSON file")
 		benchmark    = flag.String("benchmark", "", "name of a built-in benchmark (e.g. 1M-2); see cmd/ospgen -list")
-		algorithm    = flag.String("algorithm", "eblow", "planner: eblow, greedy, heuristic24, row25, exact, portfolio")
+		algorithm    = flag.String("algorithm", "eblow", "planner: any registered solver (see -solvers); heuristic24 maps to sa24 on 2D instances")
+		listSolvers  = flag.Bool("solvers", false, "list the registered solvers and exit")
 		timeout      = flag.Duration("timeout", 30*time.Second, "time limit for exact / annealing / portfolio planners")
 		seed         = flag.Int64("seed", 1, "seed for randomized planners")
 		workers      = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel solver stages (results are worker-count independent unless -timeout truncates an annealing run)")
@@ -42,6 +47,13 @@ func main() {
 		outPath      = flag.String("out", "", "write the resulting stencil plan as JSON to this file")
 	)
 	flag.Parse()
+
+	if *listSolvers {
+		for _, info := range eblow.SolverInfos() {
+			fmt.Printf("%-12s %-6s %s\n", info.Name, info.Kinds(), info.Doc)
+		}
+		return
+	}
 
 	in, err := loadInstance(*instancePath, *benchmark)
 	if err != nil {
@@ -92,69 +104,51 @@ func loadInstance(path, benchmark string) (*eblow.Instance, error) {
 	}
 }
 
+// run dispatches through the unified solver API: every algorithm name is a
+// registry strategy, configured by one Params struct.
 func run(ctx context.Context, in *eblow.Instance, algorithm string, seed int64, workers, restarts int, timeout time.Duration) (*eblow.Solution, error) {
+	// Historical shorthand: -algorithm heuristic24 meant the prior-work
+	// baseline of the instance kind, which for 2D is the SA floorplanner.
+	if algorithm == "heuristic24" && in.Kind == eblow.TwoD {
+		algorithm = "sa24"
+	}
+	if _, ok := eblow.Lookup(algorithm); !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (have %s)", algorithm, strings.Join(eblow.SolverNames(), ", "))
+	}
+
+	p := eblow.Params{
+		Workers:    workers,
+		Seed:       seed,
+		Restarts:   restarts,
+		Strategies: []string{algorithm},
+	}
 	switch algorithm {
 	case "eblow":
-		if in.Kind == eblow.OneD {
-			opt := eblow.Defaults1D()
-			opt.Workers = workers
-			sol, _, err := eblow.Solve1D(ctx, in, opt)
-			return sol, err
+		// The 1D planner runs to completion like it always has. For 2D the
+		// deadline truncates the annealing schedule to its best plan so
+		// far; only a deadline that expires before annealing even starts
+		// (pre-filter/clustering overrun) surfaces an error.
+		if in.Kind == eblow.TwoD {
+			p.Deadline = timeout
 		}
-		opt := eblow.Defaults2D()
-		opt.Seed = seed
-		opt.TimeLimit = timeout
-		opt.Workers = workers
-		opt.Restarts = restarts
-		sol, _, err := eblow.Solve2D(ctx, in, opt)
-		return sol, err
-	case "portfolio":
-		res, err := eblow.SolvePortfolio(ctx, in, eblow.PortfolioOptions{
-			Workers:  workers,
-			Timeout:  timeout,
-			Seed:     seed,
-			Restarts: restarts,
-		})
-		if err != nil {
-			return nil, err
-		}
-		fmt.Printf("portfolio     : %s won among %s (race took %s)\n",
-			res.Winner, eblow.PortfolioStrategies(in.Kind), res.Elapsed.Round(time.Millisecond))
-		return res.Best, nil
-	case "greedy":
-		if in.Kind == eblow.OneD {
-			return eblow.Greedy1D(in)
-		}
-		return eblow.Greedy2D(in)
-	case "heuristic24":
-		if in.Kind == eblow.OneD {
-			return eblow.Heuristic1D(ctx, in, seed)
-		}
-		return eblow.AnnealedBaseline2D(ctx, in, seed, timeout)
-	case "row25":
-		if in.Kind != eblow.OneD {
-			return nil, fmt.Errorf("row25 only applies to 1DOSP instances")
-		}
-		return eblow.RowHeuristic1D(in)
-	case "exact":
-		var res *eblow.ExactResult
-		var err error
-		if in.Kind == eblow.OneD {
-			res, err = eblow.Exact1D(ctx, in, timeout)
-		} else {
-			res, err = eblow.Exact2D(ctx, in, timeout)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if res.Solution == nil {
-			return nil, fmt.Errorf("exact ILP found no solution within %s (status %s)", timeout, res.Status)
-		}
-		if !res.Optimal {
-			fmt.Printf("note: ILP hit its limit; solution is feasible but not proven optimal\n")
-		}
-		return res.Solution, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
+	case "exact", "portfolio", "sa24":
+		p.Deadline = timeout
 	}
+
+	res, err := eblow.SolveWith(ctx, in, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Runs) > 0 {
+		names := make([]string, len(res.Runs))
+		for i, r := range res.Runs {
+			names[i] = r.Name
+		}
+		fmt.Printf("portfolio     : %s won among %v (race took %s)\n",
+			res.Strategy, names, res.Elapsed.Round(time.Millisecond))
+	}
+	if res.Exact != nil && !res.Exact.Optimal {
+		fmt.Printf("note: ILP hit its limit; solution is feasible but not proven optimal\n")
+	}
+	return res.Solution, nil
 }

@@ -1,0 +1,86 @@
+// Command eblowd is the batched OSP job server: a long-running HTTP service
+// that queues many stencil-planning instances, drains them through one
+// bounded worker pool shared across all jobs, and streams per-job progress
+// events. Any strategy of the unified solver registry can be scheduled by
+// name ("eblow", "greedy", "heuristic24", "row25", "sa24", "exact",
+// "portfolio").
+//
+// API (JSON unless noted):
+//
+//	GET    /v1/solvers            registered strategies
+//	POST   /v1/jobs               submit {"benchmark": "1M-2"} or {"instance": {...}}
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          status + result summary
+//	GET    /v1/jobs/{id}/result   full result including the stencil plan
+//	GET    /v1/jobs/{id}/events   NDJSON progress stream
+//	DELETE /v1/jobs/{id}          cancel
+//
+// Examples:
+//
+//	eblowd -addr 127.0.0.1:8080 -workers 8
+//	curl -s localhost:8080/v1/jobs -d '{"benchmark": "1T-1", "params": {"seed": 1}}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -sN localhost:8080/v1/jobs/j1/events
+//	curl -s -X DELETE localhost:8080/v1/jobs/j1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"eblow/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eblowd: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for a random free port)")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker pool size shared by every submitted job")
+	)
+	flag.Parse()
+
+	m := service.New(service.Config{Workers: *workers})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewHandler(m)}
+
+	// Ctrl-C / SIGINT drains in-flight requests, cancels running jobs and
+	// exits instead of dropping connections mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Print("shutting down")
+		// Cancel the jobs first: open /v1/jobs/{id}/events streams only end
+		// when their job goes terminal, so draining HTTP before cancelling
+		// would park Shutdown behind every attached subscriber.
+		m.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	// The smoke tests parse this line to find a randomly assigned port.
+	fmt.Printf("eblowd: %d workers, listening on http://%s\n", m.Workers(), ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// Serve returns as soon as Shutdown starts; wait for the drain and the
+	// manager teardown to actually finish before exiting.
+	<-shutdownDone
+}

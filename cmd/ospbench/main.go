@@ -97,7 +97,8 @@ func main() {
 // racePortfolio runs the same seeded portfolio race twice — once on a
 // single worker and once on the requested worker count — and reports both
 // wall-clock times plus the (identical) winning plans, demonstrating the
-// parallel speedup without changing the result.
+// parallel speedup without changing the result. The race goes through the
+// unified solver API: strategy "portfolio" with one Params struct.
 func racePortfolio(ctx context.Context, caseName string, workers, restarts int, seed int64, timeout time.Duration) error {
 	in, err := eblow.Benchmark(caseName)
 	if err != nil {
@@ -108,7 +109,7 @@ func racePortfolio(ctx context.Context, caseName string, workers, restarts int, 
 
 	type outcome struct {
 		workers int
-		res     *eblow.PortfolioResult
+		res     *eblow.Result
 	}
 	runsAt := []int{1, workers}
 	if workers <= 1 {
@@ -116,16 +117,20 @@ func racePortfolio(ctx context.Context, caseName string, workers, restarts int, 
 	}
 	var outcomes []outcome
 	for _, w := range runsAt {
-		res, err := eblow.SolvePortfolio(ctx, in, eblow.PortfolioOptions{
-			Workers: w, Timeout: timeout, Seed: seed, Restarts: restarts,
+		res, err := eblow.SolveWith(ctx, in, eblow.Params{
+			Workers:    w,
+			Deadline:   timeout,
+			Seed:       seed,
+			Restarts:   restarts,
+			Strategies: []string{"portfolio"},
 		})
 		if err != nil {
 			return fmt.Errorf("workers=%d: %w", w, err)
 		}
 		outcomes = append(outcomes, outcome{w, res})
 		fmt.Printf("workers=%-3d wall %-10s winner %-12s T=%d chars=%d\n",
-			w, res.Elapsed.Round(time.Millisecond), res.Winner,
-			res.Best.WritingTime, res.Best.NumSelected())
+			w, res.Elapsed.Round(time.Millisecond), res.Strategy,
+			res.Objective, res.Solution.NumSelected())
 		for _, r := range res.Runs {
 			status := fmt.Sprintf("T=%d", int64OrNA(r))
 			if r.Err != nil {
@@ -138,7 +143,7 @@ func racePortfolio(ctx context.Context, caseName string, workers, restarts int, 
 		a, b := outcomes[0].res, outcomes[1].res
 		fmt.Printf("speedup: %.2fx (%s -> %s)", a.Elapsed.Seconds()/b.Elapsed.Seconds(),
 			a.Elapsed.Round(time.Millisecond), b.Elapsed.Round(time.Millisecond))
-		if a.Best.WritingTime == b.Best.WritingTime && a.Winner == b.Winner {
+		if a.Objective == b.Objective && a.Strategy == b.Strategy {
 			fmt.Printf(", identical result either way\n")
 		} else {
 			fmt.Printf(", results differ (deadline cut strategies off)\n")
@@ -147,7 +152,7 @@ func racePortfolio(ctx context.Context, caseName string, workers, restarts int, 
 	return nil
 }
 
-func int64OrNA(r eblow.PortfolioRun) int64 {
+func int64OrNA(r eblow.Run) int64 {
 	if r.Solution == nil {
 		return -1
 	}

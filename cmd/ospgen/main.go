@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"eblow"
 )
@@ -29,7 +30,7 @@ func main() {
 		chars   = flag.Int("chars", 200, "custom instance character count")
 		regions = flag.Int("regions", 4, "custom instance region (CP) count")
 		seed    = flag.Int64("seed", 1, "custom instance seed")
-		out     = flag.String("out", "", "output JSON path (required unless -list)")
+		out     = flag.String("out", "", "output JSON path, or - for stdout (required unless -list)")
 	)
 	flag.Parse()
 
@@ -58,8 +59,16 @@ func main() {
 		log.Fatal("one of -list, -name or -custom is required")
 	}
 
-	if *out == "" {
+	switch *out {
+	case "":
 		log.Fatal("-out is required")
+	case "-":
+		// Streams straight to stdout (handy for piping into curl against
+		// cmd/eblowd) without a temp file round-trip.
+		if err := eblow.EncodeInstance(os.Stdout, in); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if err := eblow.WriteInstance(*out, in); err != nil {
 		log.Fatal(err)

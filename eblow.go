@@ -6,36 +6,40 @@
 // stencil (sharing blank margins between neighbours) so that the maximum
 // per-region writing time of the multi-column-cell system is minimized.
 //
-// The package is a facade over the internal implementation:
+// The package is a facade over the internal implementation, organised
+// around one unified solver API:
 //
-//   - Solve1D runs the E-BLOW 1DOSP planner (successive LP rounding, fast ILP
-//     convergence, DP row refinement, post-swap/insertion).
-//   - Solve2D runs the E-BLOW 2DOSP planner (pre-filter, KD-tree clustering,
-//     sequence-pair simulated annealing).
-//   - SolvePortfolio races E-BLOW against the baselines on a worker pool
-//     under one deadline and returns the best feasible plan found.
-//   - Exact1D / Exact2D solve the full ILP formulations with branch and bound
-//     (only sensible for tiny instances).
-//   - Greedy1D, Heuristic1D, RowHeuristic1D, Greedy2D, AnnealedBaseline2D are
-//     the prior-work baselines the paper compares against.
-//   - Benchmark generates the named synthetic benchmark instances (1D-x,
-//     1M-x, 2D-x, 2M-x, 1T-x, 2T-x) with the parameters published in the
-//     paper.
+//   - Solver is the single interface every planning strategy implements;
+//     Params configures any of them and Result is the uniform outcome.
+//   - Lookup / Solvers / SolverInfos expose the strategy registry: "eblow"
+//     (the paper's 1D and 2D planners), the prior-work baselines "greedy",
+//     "heuristic24", "row25" and "sa24", the exact ILP "exact", and
+//     "portfolio" (a race of the others under one deadline).
+//   - SolveWith runs one strategy, or races several, from one entry point;
+//     Solve is the zero-configuration shorthand.
+//   - Benchmark / SmallInstance generate the paper's synthetic instances;
+//     ReadInstance / WriteInstance / DecodeInstance / EncodeInstance move
+//     instances as JSON.
+//
+// The older per-strategy functions (Solve1D, Greedy1D, Exact1D, ...) remain
+// as thin deprecated wrappers over the unified API.
 package eblow
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
-	"eblow/internal/baseline"
 	"eblow/internal/core"
 	"eblow/internal/exact"
 	"eblow/internal/gen"
 	"eblow/internal/oned"
 	"eblow/internal/portfolio"
+	"eblow/internal/solver"
 	"eblow/internal/twod"
 )
 
@@ -63,21 +67,23 @@ const (
 )
 
 // Options1D configures the E-BLOW 1D planner; the zero value uses the
-// paper's parameters.
+// paper's parameters. Set Params.Options1D to pass it through the unified
+// API.
 type Options1D = oned.Options
 
 // Options2D configures the E-BLOW 2D planner; the zero value uses the
-// paper's parameters.
+// paper's parameters. Set Params.Options2D to pass it through the unified
+// API.
 type Options2D = twod.Options
 
 // Trace1D exposes the successive-rounding iteration trace (Figs. 5 and 6 of
-// the paper).
+// the paper); Result.Trace carries it when Params.CollectTrace is set.
 type Trace1D = oned.Trace
 
-// ClusterStats reports what the 2D clustering stage did.
+// ClusterStats reports what the 2D clustering stage did (Result.Stats).
 type ClusterStats = twod.Stats
 
-// ExactResult is the outcome of an exact ILP solve.
+// ExactResult is the outcome of an exact ILP solve (Result.Exact).
 type ExactResult = exact.Result
 
 // Defaults1D returns the paper's parameter settings for the 1D planner.
@@ -97,33 +103,49 @@ type PortfolioResult = portfolio.Result
 // PortfolioRun is one strategy's outcome inside a portfolio race.
 type PortfolioRun = portfolio.Run
 
+// Solve plans the stencil of the instance with the E-BLOW planner for its
+// kind under the default parameters. It is shorthand for SolveWith with a
+// zero Params.
+func Solve(ctx context.Context, in *Instance) (*Solution, error) {
+	r, err := SolveWith(ctx, in, Params{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Solution, nil
+}
+
 // Solve1D plans the stencil of a 1DOSP instance with E-BLOW. The context
 // cancels the run: an already-done context returns ctx.Err() immediately
 // and a deadline stops the planner at its next checkpoint. The solution is
 // deterministic for fixed options regardless of opt.Workers.
+//
+// Deprecated: use SolveWith (or Lookup("eblow")) with Params.Options1D; the
+// trace is returned in Result.Trace.
 func Solve1D(ctx context.Context, in *Instance, opt Options1D) (*Solution, *Trace1D, error) {
-	return oned.Solve(ctx, in, opt)
+	if in.Kind != OneD {
+		return nil, nil, fmt.Errorf("eblow: instance %q is not a 1DOSP instance", in.Name)
+	}
+	r, err := SolveWith(ctx, in, Params{Options1D: &opt})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Solution, r.Trace, nil
 }
 
 // Solve2D plans the stencil of a 2DOSP instance with E-BLOW; cancellation
 // and determinism follow the same contract as Solve1D.
+//
+// Deprecated: use SolveWith (or Lookup("eblow")) with Params.Options2D; the
+// clustering stats are returned in Result.Stats.
 func Solve2D(ctx context.Context, in *Instance, opt Options2D) (*Solution, *ClusterStats, error) {
-	return twod.Solve(ctx, in, opt)
-}
-
-// Solve dispatches to Solve1D or Solve2D based on the instance kind, using
-// the default options.
-func Solve(ctx context.Context, in *Instance) (*Solution, error) {
-	switch in.Kind {
-	case core.OneD:
-		sol, _, err := Solve1D(ctx, in, Defaults1D())
-		return sol, err
-	case core.TwoD:
-		sol, _, err := Solve2D(ctx, in, Defaults2D())
-		return sol, err
-	default:
-		return nil, fmt.Errorf("eblow: unknown instance kind %v", in.Kind)
+	if in.Kind != TwoD {
+		return nil, nil, fmt.Errorf("eblow: instance %q is not a 2DOSP instance", in.Name)
 	}
+	r, err := SolveWith(ctx, in, Params{Options2D: &opt})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Solution, r.Stats, nil
 }
 
 // SolvePortfolio races E-BLOW against the prior-work baselines under one
@@ -133,44 +155,89 @@ func Solve(ctx context.Context, in *Instance) (*Solution, error) {
 // overall plan wins. The result is deterministic for a fixed seed
 // regardless of opt.Workers as long as no deadline truncates an entrant
 // mid-run.
+//
+// Deprecated: use SolveWith with several Params.Strategies (or
+// Lookup("portfolio")); the per-entrant records are returned in Result.Runs.
 func SolvePortfolio(ctx context.Context, in *Instance, opt PortfolioOptions) (*PortfolioResult, error) {
 	return portfolio.Solve(ctx, in, opt)
 }
 
 // PortfolioStrategies lists the strategies SolvePortfolio races for the
 // given instance kind, in race order.
+//
+// Deprecated: use Solvers or SolverInfos; the racing entries are the ones
+// whose SolverInfo.Racing is set.
 func PortfolioStrategies(kind Kind) []string { return portfolio.Names(kind) }
 
 // Exact1D solves formulation (3) of the paper exactly with branch and
 // bound. The context cancels the search; the time limit bounds it even
 // without a context deadline.
+//
+// Deprecated: use Lookup("exact") with Params.Deadline as the time limit;
+// the branch-and-bound details are returned in Result.Exact.
 func Exact1D(ctx context.Context, in *Instance, timeLimit time.Duration) (*ExactResult, error) {
 	return exact.Solve1D(ctx, in, timeLimit)
 }
 
 // Exact2D solves formulation (7) of the paper exactly with branch and bound.
+//
+// Deprecated: use Lookup("exact") with Params.Deadline as the time limit;
+// the branch-and-bound details are returned in Result.Exact.
 func Exact2D(ctx context.Context, in *Instance, timeLimit time.Duration) (*ExactResult, error) {
 	return exact.Solve2D(ctx, in, timeLimit)
 }
 
 // Greedy1D is the greedy 1D baseline of the paper's Table 3.
-func Greedy1D(in *Instance) (*Solution, error) { return baseline.Greedy1D(in) }
+//
+// Deprecated: use Lookup("greedy") or SolveWith with Params.Strategies
+// {"greedy"}.
+func Greedy1D(in *Instance) (*Solution, error) {
+	if in.Kind != OneD {
+		return nil, fmt.Errorf("eblow: instance %q is not a 1DOSP instance", in.Name)
+	}
+	return solutionOf(solver.Solve(context.Background(), "greedy", in, Params{}))
+}
 
 // Heuristic1D is the prior-work two-step 1D heuristic ([24] in the paper).
+//
+// Deprecated: use Lookup("heuristic24") with Params.Seed.
 func Heuristic1D(ctx context.Context, in *Instance, seed int64) (*Solution, error) {
-	return baseline.Heuristic1D(ctx, in, baseline.Heuristic1DOptions{Seed: seed})
+	return solutionOf(solver.Solve(ctx, "heuristic24", in, Params{Seed: seed}))
 }
 
 // RowHeuristic1D is the deterministic row-structure 1D heuristic ([25] in
 // the paper).
-func RowHeuristic1D(in *Instance) (*Solution, error) { return baseline.RowHeuristic1D(in) }
+//
+// Deprecated: use Lookup("row25").
+func RowHeuristic1D(in *Instance) (*Solution, error) {
+	return solutionOf(solver.Solve(context.Background(), "row25", in, Params{}))
+}
 
 // Greedy2D is the greedy 2D baseline of the paper's Table 4.
-func Greedy2D(in *Instance) (*Solution, error) { return baseline.Greedy2D(in) }
+//
+// Deprecated: use Lookup("greedy") or SolveWith with Params.Strategies
+// {"greedy"}.
+func Greedy2D(in *Instance) (*Solution, error) {
+	if in.Kind != TwoD {
+		return nil, fmt.Errorf("eblow: instance %q is not a 2DOSP instance", in.Name)
+	}
+	return solutionOf(solver.Solve(context.Background(), "greedy", in, Params{}))
+}
 
 // AnnealedBaseline2D is the prior-work fixed-outline floorplanner ([24]).
+//
+// Deprecated: use Lookup("sa24") with Params.Seed and Params.Deadline.
 func AnnealedBaseline2D(ctx context.Context, in *Instance, seed int64, timeLimit time.Duration) (*Solution, error) {
-	return baseline.SA2D(ctx, in, baseline.SA2DOptions{Seed: seed, TimeLimit: timeLimit})
+	return solutionOf(solver.Solve(ctx, "sa24", in, Params{Seed: seed, Deadline: timeLimit}))
+}
+
+// solutionOf projects a unified Result onto the legacy (*Solution, error)
+// wrapper signatures.
+func solutionOf(r *Result, err error) (*Solution, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Solution, nil
 }
 
 // Benchmark returns the named synthetic benchmark instance ("1D-1" .. "1D-4",
@@ -188,27 +255,60 @@ func SmallInstance(kind Kind, numChars, numRegions int, seed int64) *Instance {
 	return gen.Small(kind, numChars, numRegions, seed)
 }
 
-// WriteInstance saves an instance as JSON.
-func WriteInstance(path string, in *Instance) error {
-	data, err := json.MarshalIndent(in, "", "  ")
-	if err != nil {
+// EncodeInstance writes an instance as indented JSON to w.
+func EncodeInstance(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(in); err != nil {
 		return fmt.Errorf("eblow: encoding instance: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return nil
+}
+
+// DecodeInstance reads an instance as JSON from r and validates it.
+func DecodeInstance(r io.Reader) (*Instance, error) {
+	in, err := decodeInstance(r)
+	if err != nil {
+		return nil, fmt.Errorf("eblow: %w", err)
+	}
+	return in, nil
+}
+
+// decodeInstance decodes and validates without the "eblow:" prefix, so both
+// DecodeInstance and ReadInstance can add their own context exactly once.
+func decodeInstance(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decoding instance: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid instance: %w", err)
+	}
+	return &in, nil
+}
+
+// WriteInstance saves an instance as JSON.
+func WriteInstance(path string, in *Instance) error {
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, in); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("eblow: writing instance: %w", err)
+	}
+	return nil
 }
 
 // ReadInstance loads an instance from JSON and validates it.
 func ReadInstance(path string) (*Instance, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eblow: reading instance: %w", err)
 	}
-	var in Instance
-	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, fmt.Errorf("eblow: decoding %s: %w", path, err)
+	defer f.Close()
+	in, err := decodeInstance(f)
+	if err != nil {
+		return nil, fmt.Errorf("eblow: reading %s: %w", path, err)
 	}
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	return &in, nil
+	return in, nil
 }

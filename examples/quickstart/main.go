@@ -1,5 +1,5 @@
-// Quickstart: generate a small 1DOSP instance, plan its stencil with E-BLOW
-// and print what ended up on the stencil.
+// Quickstart: generate a small 1DOSP instance, plan its stencil through the
+// unified solver API and print what ended up on the stencil.
 package main
 
 import (
@@ -15,21 +15,28 @@ func main() {
 	// sharing one stencil.
 	in := eblow.SmallInstance(eblow.OneD, 120, 4, 42)
 
-	sol, trace, err := eblow.Solve1D(context.Background(), in, eblow.Defaults1D())
+	// The zero Params run the E-BLOW planner for the instance kind with
+	// the paper's parameters; CollectTrace additionally records the
+	// successive-rounding iterations in res.Trace.
+	res, err := eblow.SolveWith(context.Background(), in, eblow.Params{CollectTrace: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sol.Validate(in); err != nil {
-		log.Fatalf("planner produced an invalid stencil: %v", err)
+	if !res.Feasible {
+		log.Fatalf("planner produced an invalid stencil")
 	}
+	sol := res.Solution
 
 	vsbOnly := in.WritingTime(make([]bool, in.NumCharacters()))
+	fmt.Printf("strategy          : %s\n", res.Strategy)
 	fmt.Printf("candidates        : %d\n", in.NumCharacters())
 	fmt.Printf("on stencil        : %d\n", sol.NumSelected())
-	fmt.Printf("writing time      : %d (pure VSB would be %d)\n", sol.WritingTime, vsbOnly)
+	fmt.Printf("writing time      : %d (pure VSB would be %d)\n", res.Objective, vsbOnly)
 	fmt.Printf("per-region times  : %v\n", sol.RegionTimes)
-	fmt.Printf("rounding iterations: %d\n", len(trace.UnsolvedPerIteration))
-	fmt.Printf("planner runtime   : %s\n", sol.Runtime)
+	if res.Trace != nil {
+		fmt.Printf("rounding iterations: %d\n", len(res.Trace.UnsolvedPerIteration))
+	}
+	fmt.Printf("planner runtime   : %s\n", res.Elapsed)
 
 	// Show the first stencil row.
 	if len(sol.Rows) > 0 {

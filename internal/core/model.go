@@ -166,6 +166,9 @@ var ErrEmptyInstance = errors.New("core: instance has no characters or no region
 
 // Validate checks the instance for structural consistency.
 func (in *Instance) Validate() error {
+	if in.Kind != OneD && in.Kind != TwoD {
+		return fmt.Errorf("core: unknown instance kind %v", in.Kind)
+	}
 	if len(in.Characters) == 0 || in.NumRegions <= 0 {
 		return ErrEmptyInstance
 	}

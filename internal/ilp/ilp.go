@@ -146,6 +146,20 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		deadline = start.Add(opt.TimeLimit)
 	}
 
+	// Interrupt the simplex between pivots, not just between nodes: a
+	// single node relaxation of a big formulation can run for a long time,
+	// and cancellation should not wait it out. The derived context also
+	// folds the wall-clock limit into the same stop channel.
+	lpCtx := ctx
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		lpCtx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	prevStop := p.LP.Stop
+	p.LP.Stop = lpCtx.Done()
+	defer func() { p.LP.Stop = prevStop }()
+
 	sign := 1.0
 	if !opt.Maximize {
 		sign = -1
@@ -191,6 +205,7 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 
 	done := ctx.Done()
 	interrupted := false
+	dropped := false // nodes lost to the LP pivot budget or an interrupt
 	nodes := 0
 	for queue.Len() > 0 {
 		if opt.MaxNodes > 0 && nodes >= opt.MaxNodes {
@@ -239,6 +254,7 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			}
 			continue
 		case lp.IterationLimit:
+			dropped = true
 			continue
 		}
 
@@ -294,10 +310,12 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	if haveIncumbent {
 		res.X = incumbent
-		if queue.Len() == 0 && !interrupted && (opt.MaxNodes == 0 || nodes < opt.MaxNodes) &&
+		if queue.Len() == 0 && !interrupted && !dropped && (opt.MaxNodes == 0 || nodes < opt.MaxNodes) &&
 			(deadline.IsZero() || time.Now().Before(deadline)) {
 			res.Status = Optimal
 		} else {
+			// A dropped node (LP pivot budget or interrupt) may hide a
+			// better plan, so the incumbent is only Feasible, not proven.
 			res.Status = Feasible
 		}
 		res.BestBound = res.Objective
@@ -316,7 +334,10 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		}
 		return res, nil
 	}
-	if queue.Len() == 0 {
+	// An emptied queue only proves infeasibility when the whole tree was
+	// genuinely explored: an interrupt or a node dropped at its LP pivot
+	// budget leaves the run inconclusive (Status stays Limit).
+	if queue.Len() == 0 && !interrupted && !dropped {
 		res.Status = Infeasible
 	}
 	return res, nil

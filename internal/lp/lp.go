@@ -100,6 +100,26 @@ type Problem struct {
 	// MaxIters bounds the total number of simplex pivots (both phases).
 	// Zero means the default of 50*(rows+cols)+10000.
 	MaxIters int
+
+	// Stop, when non-nil, is polled between pivots and while the dense
+	// tableau is being built; once it is closed the solve gives up with
+	// Status IterationLimit. It is how the branch-and-bound layer makes a
+	// cancelled context interrupt a solve mid-node instead of waiting out
+	// a full simplex run.
+	Stop <-chan struct{}
+}
+
+// stopRequested polls the Stop channel without blocking.
+func (p *Problem) stopRequested() bool {
+	if p.Stop == nil {
+		return false
+	}
+	select {
+	case <-p.Stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // NewProblem creates a problem with n decision variables, objective 0 and
@@ -203,6 +223,9 @@ func Solve(p *Problem) (*Result, error) {
 		}
 	}
 	t := newTableau(p)
+	if t == nil { // stopped while building the tableau
+		return &Result{Status: IterationLimit}, nil
+	}
 	res := t.solve()
 	return res, nil
 }
@@ -285,8 +308,15 @@ func newTableau(p *Problem) *tableau {
 	t.artStart = p.numVars + nSlack
 	t.cols = p.numVars + nSlack + nArt
 
+	// Allocating and filling the dense matrix is the most expensive
+	// non-pivot work (hundreds of MB for the big exact formulations), so
+	// honour Stop here too — otherwise a cancelled branch-and-bound run
+	// would stall behind every node's tableau build.
 	t.a = make([][]float64, m)
 	for i := range t.a {
+		if i&1023 == 0 && p.stopRequested() {
+			return nil
+		}
 		t.a[i] = make([]float64, t.cols+1)
 	}
 	t.basis = make([]int, m)
@@ -294,6 +324,9 @@ func newTableau(p *Problem) *tableau {
 	slackIdx := p.numVars
 	artIdx := t.artStart
 	for i, r := range rowsList {
+		if i&1023 == 0 && p.stopRequested() {
+			return nil
+		}
 		rhs := shiftRHS(r.terms, r.rhs)
 		sign := 1.0
 		op := r.op
@@ -426,6 +459,9 @@ func (t *tableau) iterate(budget int) (Status, int) {
 	blandAfter := 2*(t.rows+t.cols) + 200
 	for {
 		if iters >= budget {
+			return IterationLimit, iters
+		}
+		if t.p.stopRequested() {
 			return IterationLimit, iters
 		}
 		useBland := iters > blandAfter

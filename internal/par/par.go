@@ -1,11 +1,17 @@
-// Package par provides the tiny deterministic fork-join primitives the
-// solver packages share. Both helpers guarantee that work item i only ever
-// touches slot i of whatever slices the caller indexes by i, so results are
-// identical for any worker count — the merge order is the index order, never
-// the completion order.
+// Package par provides the tiny deterministic parallelism primitives the
+// solver packages share. The fork-join helpers (For, Do) guarantee that
+// work item i only ever touches slot i of whatever slices the caller
+// indexes by i, so results are identical for any worker count — the merge
+// order is the index order, never the completion order. Pool is the
+// persistent counterpart: a long-lived bounded worker pool with an
+// unbounded FIFO queue, shared by the batched job service so many submitted
+// jobs drain through one fixed set of workers.
 package par
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // For runs fn(i) for every i in [0, n), spread over at most workers
 // goroutines (workers <= 1 runs inline). fn must confine its writes to data
@@ -71,4 +77,78 @@ func Do(workers int, fns ...func()) {
 	}
 	close(next)
 	wg.Wait()
+}
+
+// Pool is a persistent bounded worker pool: a fixed number of goroutines
+// drain an unbounded FIFO task queue. Unlike Do it outlives a single batch,
+// so independent callers can keep submitting work that shares one
+// concurrency budget. Submit never blocks; tasks start in submission order
+// (workers pick them up first-come, first-served).
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	closed  bool
+	wg      sync.WaitGroup
+	workers int
+}
+
+// NewPool starts a pool with the given number of workers (<= 0 means one
+// worker per CPU).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.work()
+	}
+	return p
+}
+
+// Workers returns the pool's fixed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues fn; it never blocks. Submitting to a closed pool panics,
+// like sending on a closed channel.
+func (p *Pool) Submit(fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("par: Submit on closed Pool")
+	}
+	p.queue = append(p.queue, fn)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close stops accepting work, waits for the queue to drain and every
+// running task to finish, then returns.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *Pool) work() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		fn := p.queue[0]
+		p.queue[0] = nil // don't pin the finished task in the backing array
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		fn()
+	}
 }

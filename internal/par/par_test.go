@@ -1,8 +1,10 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForCoversEveryIndex(t *testing.T) {
@@ -51,6 +53,81 @@ func TestDoRunsEverything(t *testing.T) {
 			t.Fatalf("workers=%d: ran %d of 9 tasks", workers, count)
 		}
 	}
+}
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		p := NewPool(workers)
+		var count int32
+		for i := 0; i < 50; i++ {
+			p.Submit(func() { atomic.AddInt32(&count, 1) })
+		}
+		p.Close()
+		if count != 50 {
+			t.Fatalf("workers=%d: ran %d of 50 tasks", workers, count)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var running, peak int32
+	var wg sync.WaitGroup
+	wg.Add(20)
+	for i := 0; i < 20; i++ {
+		p.Submit(func() {
+			defer wg.Done()
+			now := atomic.AddInt32(&running, 1)
+			for {
+				old := atomic.LoadInt32(&peak)
+				if now <= old || atomic.CompareAndSwapInt32(&peak, old, now) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt32(&running, -1)
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks on a %d-worker pool", peak, workers)
+	}
+}
+
+func TestPoolSingleWorkerIsFIFO(t *testing.T) {
+	p := NewPool(1)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		p.Submit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	p.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker pool ran out of order: %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("ran %d of 10 tasks", len(order))
+	}
+}
+
+func TestPoolSubmitAfterClosePanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit on a closed pool did not panic")
+		}
+	}()
+	p.Submit(func() {})
 }
 
 func TestDoSequentialOrder(t *testing.T) {

@@ -1,18 +1,23 @@
 // Package portfolio races several OSP planners against each other under one
 // deadline and returns the best feasible stencil plan any of them found.
-// This is the solver-orchestration layer above the raw algorithms: E-BLOW
+// This is the solver-orchestration layer above the raw algorithms: the
+// entrants come from the shared strategy registry (package solver) — E-BLOW
 // (the paper's planner) runs alongside the prior-work baselines, every
 // entrant honours the shared context, and the winner is picked by comparing
-// writing times in a fixed strategy order — so for a fixed seed the outcome
-// is identical no matter how many workers ran the race or in which order
-// the entrants finished. (A deadline that truncates an entrant mid-run is
-// the one source of nondeterminism: wall clock decides how far it got.)
+// writing times in the fixed registry race order — so for a fixed seed the
+// outcome is identical no matter how many workers ran the race or in which
+// order the entrants finished. (A deadline that truncates an entrant mid-run
+// is the one source of nondeterminism: wall clock decides how far it got.)
 //
 // The race is useful in two regimes. Under a tight deadline the cheap
 // greedy/row heuristics guarantee a feasible incumbent even when the LP or
 // annealing planners are cut off mid-run. With room to spare, E-BLOW
 // usually wins, but on degenerate instances a baseline occasionally beats
 // it — the portfolio returns whichever plan writes fastest.
+//
+// The package also registers itself in the strategy registry under the name
+// "portfolio", so the job service and eblow.SolveWith can schedule a whole
+// race like any single strategy.
 package portfolio
 
 import (
@@ -22,18 +27,16 @@ import (
 	"runtime"
 	"time"
 
-	"eblow/internal/baseline"
 	"eblow/internal/core"
-	"eblow/internal/oned"
 	"eblow/internal/par"
-	"eblow/internal/twod"
+	"eblow/internal/solver"
 )
 
 // Options configures a portfolio race.
 type Options struct {
 	// Workers bounds how many strategies run concurrently and how many
 	// goroutines the inner planners may use (the heavy strategies share
-	// the pool; see buildStrategies). 0 means one worker per CPU; 1 runs
+	// the pool; see entrants). 0 means one worker per CPU; 1 runs
 	// the whole portfolio sequentially. The returned solution is the same
 	// for every worker count unless the deadline truncates an entrant.
 	Workers int
@@ -42,13 +45,14 @@ type Options struct {
 	// drop out; the best finished strategy still wins.
 	Timeout time.Duration
 	// Seed seeds the randomized strategies; each strategy derives its own
-	// sub-seed, so runs are reproducible.
+	// sub-seed (Seed plus its registry seed offset), so runs are
+	// reproducible and entrants never share a random stream.
 	Seed int64
 	// Restarts is the number of annealing restarts given to the SA-based
 	// strategies (0 means 1).
 	Restarts int
 	// Only restricts the race to the named strategies (see Names). Nil
-	// means every strategy applicable to the instance kind.
+	// means every registered racing strategy for the instance kind.
 	Only []string
 }
 
@@ -60,16 +64,7 @@ func (o Options) workerCount() int {
 }
 
 // Run is one strategy's outcome in the race.
-type Run struct {
-	// Name identifies the strategy.
-	Name string
-	// Solution is nil when the strategy failed or was cut off.
-	Solution *core.Solution
-	// Err reports why Solution is nil (typically context.DeadlineExceeded).
-	Err error
-	// Elapsed is the strategy's wall-clock time.
-	Elapsed time.Duration
-}
+type Run = solver.Run
 
 // Result is the outcome of a portfolio race.
 type Result struct {
@@ -77,16 +72,10 @@ type Result struct {
 	Best *core.Solution
 	// Winner names the strategy that produced Best.
 	Winner string
-	// Runs holds every strategy's outcome in the fixed strategy order.
+	// Runs holds every strategy's outcome in the fixed race order.
 	Runs []Run
 	// Elapsed is the wall-clock time of the whole race.
 	Elapsed time.Duration
-}
-
-// strategy is one entrant: a stable name plus the solver invocation.
-type strategy struct {
-	name  string
-	solve func(ctx context.Context) (*core.Solution, error)
 }
 
 // ErrNoSolution is returned when no strategy produced a feasible solution
@@ -94,18 +83,13 @@ type strategy struct {
 var ErrNoSolution = errors.New("portfolio: no strategy produced a feasible solution")
 
 // Names lists the strategies applicable to the given instance kind, in race
-// order. The order is part of the determinism contract: ties in writing
-// time go to the earlier strategy.
-func Names(kind core.Kind) []string {
-	if kind == core.OneD {
-		return []string{"eblow", "row25", "heuristic24", "greedy"}
-	}
-	return []string{"eblow", "sa24", "greedy"}
-}
+// order. The order comes from the strategy registry and is part of the
+// determinism contract: ties in writing time go to the earlier strategy.
+func Names(kind core.Kind) []string { return solver.RacingNames(kind) }
 
-// Solve races every applicable strategy on the instance and returns the
-// best feasible plan. The context plus opt.Timeout bound the whole race; a
-// context that is already done returns ctx.Err() immediately.
+// Solve races every applicable registered strategy on the instance and
+// returns the best feasible plan. The context plus opt.Timeout bound the
+// whole race; a context that is already done returns ctx.Err() immediately.
 func Solve(ctx context.Context, in *core.Instance, opt Options) (*Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
@@ -120,30 +104,66 @@ func Solve(ctx context.Context, in *core.Instance, opt Options) (*Result, error)
 		defer cancel()
 	}
 
-	strategies, err := buildStrategies(in, opt)
+	entries, err := entrants(in, opt)
 	if err != nil {
 		return nil, err
 	}
 
-	// Race: every strategy writes only its own slot, so the runs slice is
-	// identical for any worker count; completion order never matters.
-	runs := make([]Run, len(strategies))
-	tasks := make([]func(), len(strategies))
-	for i, st := range strategies {
-		i, st := i, st
-		tasks[i] = func() {
-			t0 := time.Now()
-			sol, err := st.solve(ctx)
-			if err == nil && sol != nil {
-				// Only feasible plans may win the race.
-				if verr := sol.Validate(in); verr != nil {
-					sol, err = nil, fmt.Errorf("portfolio: %s produced an invalid plan: %w", st.name, verr)
-				}
-			}
-			runs[i] = Run{Name: st.name, Solution: sol, Err: err, Elapsed: time.Since(t0)}
+	// The heavy (annealing/LP) strategies race concurrently; handing each of
+	// them the full pool would oversubscribe the CPUs roughly heavy-fold and
+	// distort per-strategy timings, so the ones actually racing share it.
+	// The split does not affect results — inner solvers are worker-count
+	// independent.
+	workers := opt.workerCount()
+	heavy := 0
+	for _, e := range entries {
+		if e.Heavy {
+			heavy++
 		}
 	}
-	par.Do(opt.workerCount(), tasks...)
+	if heavy < 1 {
+		heavy = 1
+	}
+	inner := workers / heavy
+	if inner < 1 {
+		inner = 1
+	}
+
+	// Race: every strategy writes only its own slot, so the runs slice is
+	// identical for any worker count; completion order never matters.
+	runs := make([]Run, len(entries))
+	tasks := make([]func(), len(entries))
+	for i, e := range entries {
+		i, e := i, e
+		p := solver.Params{
+			Workers:  inner,
+			Seed:     opt.Seed + e.SeedOffset,
+			Restarts: opt.Restarts,
+		}
+		// The cheap deterministic heuristics run outside the shared
+		// deadline: they finish in milliseconds and guarantee a feasible
+		// incumbent even when the deadline already cut the heavy planners
+		// off mid-run.
+		runCtx := ctx
+		if e.Cheap {
+			runCtx = context.WithoutCancel(ctx)
+		}
+		tasks[i] = func() {
+			t0 := time.Now()
+			res, err := e.Solver().Solve(runCtx, in, p)
+			var sol *core.Solution
+			switch {
+			case err != nil:
+			case !res.Feasible:
+				// Only feasible plans may win the race.
+				err = fmt.Errorf("portfolio: %s produced an invalid plan: %w", e.Name, res.Solution.Validate(in))
+			default:
+				sol = res.Solution
+			}
+			runs[i] = Run{Name: e.Name, Solution: sol, Err: err, Elapsed: time.Since(t0)}
+		}
+	}
+	par.Do(workers, tasks...)
 
 	res := &Result{Runs: runs, Elapsed: time.Since(start)}
 	for _, r := range runs {
@@ -165,96 +185,55 @@ func Solve(ctx context.Context, in *core.Instance, opt Options) (*Result, error)
 	return res, nil
 }
 
-// heavyStrategies names the entrants that saturate the worker pool
-// themselves (annealing/LP planners); the rest are single-shot heuristics.
-var heavyStrategies = map[string]bool{"eblow": true, "sa24": true}
+// entrants resolves the registry entries racing for the instance kind, in
+// the fixed registration (race) order. With no opt.Only filter the default
+// racing set runs; an explicit filter may name any registered strategy that
+// supports the kind (so "exact" can be raced on tiny instances), except the
+// portfolio itself.
+func entrants(in *core.Instance, opt Options) ([]*solver.Entry, error) {
+	if len(opt.Only) == 0 {
+		return solver.Racing(in.Kind), nil
+	}
+	allowed := make(map[string]bool, len(opt.Only))
+	for _, n := range opt.Only {
+		allowed[n] = true
+	}
+	var kept []*solver.Entry
+	for _, e := range solver.Entries() {
+		if allowed[e.Name] && e.Name != "portfolio" && e.Supports(in.Kind) {
+			kept = append(kept, e)
+			delete(allowed, e.Name)
+		}
+	}
+	for n := range allowed {
+		if n == "portfolio" {
+			return nil, errors.New("portfolio: the race cannot contain itself; drop \"portfolio\" from Only")
+		}
+		return nil, fmt.Errorf("portfolio: unknown strategy %q for %s instances (have %v)", n, in.Kind, Names(in.Kind))
+	}
+	return kept, nil
+}
 
-// buildStrategies assembles the entrants for the instance kind, filtered by
-// opt.Only, in the fixed race order.
-func buildStrategies(in *core.Instance, opt Options) ([]strategy, error) {
-	names := Names(in.Kind)
-	if len(opt.Only) > 0 {
-		allowed := make(map[string]bool, len(opt.Only))
-		for _, n := range opt.Only {
-			allowed[n] = true
+// init registers the whole race as a strategy of its own, so callers that
+// schedule solvers by name (the job service, eblow.SolveWith) can ask for
+// "portfolio" like any other entry. Params map onto Options: Workers, Seed
+// and Restarts pass through, Strategies restricts the entrant set, and the
+// deadline is already carried by the context the registry wrapper built.
+func init() {
+	solver.Register(&solver.Entry{
+		Name: "portfolio",
+		Doc:  "races the registered strategies under one deadline; best feasible plan wins",
+		OneD: true, TwoD: true, Heavy: true,
+	}, func(ctx context.Context, in *core.Instance, p solver.Params) (*solver.Result, error) {
+		res, err := Solve(ctx, in, Options{
+			Workers:  p.Workers,
+			Seed:     p.Seed,
+			Restarts: p.Restarts,
+			Only:     p.Strategies,
+		})
+		if err != nil {
+			return nil, err
 		}
-		var kept []string
-		for _, n := range names {
-			if allowed[n] {
-				kept = append(kept, n)
-				delete(allowed, n)
-			}
-		}
-		for n := range allowed {
-			return nil, fmt.Errorf("portfolio: unknown strategy %q for %s instances (have %v)", n, in.Kind, Names(in.Kind))
-		}
-		names = kept
-	}
-
-	workers := opt.workerCount()
-	// The heavy (annealing/LP) strategies race concurrently; handing each of
-	// them the full pool would oversubscribe the CPUs roughly heavy-fold and
-	// distort per-strategy timings, so the ones actually racing share it.
-	// The split does not affect results — inner solvers are worker-count
-	// independent.
-	heavy := 0
-	for _, n := range names {
-		if heavyStrategies[n] {
-			heavy++
-		}
-	}
-	if heavy < 1 {
-		heavy = 1
-	}
-	inner := workers / heavy
-	if inner < 1 {
-		inner = 1
-	}
-	restarts := opt.Restarts
-	if restarts <= 0 {
-		restarts = 1
-	}
-	all := map[string]strategy{}
-	if in.Kind == core.OneD {
-		all["eblow"] = strategy{"eblow", func(ctx context.Context) (*core.Solution, error) {
-			o := oned.Defaults()
-			o.Workers = inner
-			sol, _, err := oned.Solve(ctx, in, o)
-			return sol, err
-		}}
-		all["row25"] = strategy{"row25", func(ctx context.Context) (*core.Solution, error) {
-			return baseline.RowHeuristic1D(in)
-		}}
-		all["heuristic24"] = strategy{"heuristic24", func(ctx context.Context) (*core.Solution, error) {
-			return baseline.Heuristic1D(ctx, in, baseline.Heuristic1DOptions{Seed: opt.Seed + 1})
-		}}
-		all["greedy"] = strategy{"greedy", func(ctx context.Context) (*core.Solution, error) {
-			return baseline.Greedy1D(in)
-		}}
-	} else {
-		all["eblow"] = strategy{"eblow", func(ctx context.Context) (*core.Solution, error) {
-			o := twod.Defaults()
-			o.Seed = opt.Seed
-			o.Workers = inner
-			o.Restarts = restarts
-			sol, _, err := twod.Solve(ctx, in, o)
-			return sol, err
-		}}
-		all["sa24"] = strategy{"sa24", func(ctx context.Context) (*core.Solution, error) {
-			return baseline.SA2D(ctx, in, baseline.SA2DOptions{
-				Seed:     opt.Seed + 2,
-				Restarts: restarts,
-				Workers:  inner,
-			})
-		}}
-		all["greedy"] = strategy{"greedy", func(ctx context.Context) (*core.Solution, error) {
-			return baseline.Greedy2D(in)
-		}}
-	}
-
-	out := make([]strategy, len(names))
-	for i, n := range names {
-		out[i] = all[n]
-	}
-	return out, nil
+		return &solver.Result{Solution: res.Best, Strategy: res.Winner, Runs: res.Runs}, nil
+	})
 }

@@ -1,0 +1,239 @@
+// HTTP/JSON surface of the job service, mounted by cmd/eblowd:
+//
+//	GET    /v1/solvers            registered strategies
+//	POST   /v1/jobs               submit a job (benchmark name or inline instance)
+//	GET    /v1/jobs               list jobs in submission order
+//	GET    /v1/jobs/{id}          job status (compact result summary)
+//	GET    /v1/jobs/{id}/result   full result including the stencil plan
+//	GET    /v1/jobs/{id}/events   NDJSON progress stream until terminal
+//	DELETE /v1/jobs/{id}          cancel
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"eblow"
+)
+
+// NewHandler mounts the service API for the manager.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/solvers", func(w http.ResponseWriter, r *http.Request) {
+		type info struct {
+			Name   string `json:"name"`
+			Doc    string `json:"doc"`
+			OneD   bool   `json:"oneD"`
+			TwoD   bool   `json:"twoD"`
+			Racing bool   `json:"racing"`
+		}
+		var out []info
+		for _, e := range eblow.SolverInfos() {
+			out = append(out, info{Name: e.Name, Doc: e.Doc, OneD: e.OneD, TwoD: e.TwoD, Racing: e.Racing})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := decodeSubmit(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		status, err := m.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobJSON(status, false))
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		statuses := m.List()
+		out := make([]map[string]any, len(statuses))
+		for i, s := range statuses {
+			out[i] = jobJSON(s, false)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobJSON(status, false))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		status, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if !status.State.Terminal() {
+			writeError(w, http.StatusConflict, fmt.Errorf("service: job %s is %s, result not ready", status.ID, status.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, jobJSON(status, true))
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobJSON(status, false))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		events, err := m.Events(r.Context(), r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body: exactly one of Benchmark or
+// Instance names the problem; Solver and Params pick the strategy.
+type submitRequest struct {
+	Benchmark string          `json:"benchmark,omitempty"`
+	Instance  json.RawMessage `json:"instance,omitempty"`
+	Solver    string          `json:"solver,omitempty"`
+	Label     string          `json:"label,omitempty"`
+	Params    wireParams      `json:"params"`
+}
+
+// wireParams is the JSON shape of eblow.Params (deadline as a Go duration
+// string such as "30s").
+type wireParams struct {
+	Workers    int      `json:"workers,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	Deadline   string   `json:"deadline,omitempty"`
+	Restarts   int      `json:"restarts,omitempty"`
+	Strategies []string `json:"strategies,omitempty"`
+}
+
+func decodeSubmit(r *http.Request) (JobSpec, error) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return JobSpec{}, fmt.Errorf("service: decoding request: %w", err)
+	}
+	var in *eblow.Instance
+	var err error
+	switch {
+	case req.Benchmark != "" && len(req.Instance) > 0:
+		return JobSpec{}, errors.New("service: use either benchmark or instance, not both")
+	case req.Benchmark != "":
+		if in, err = eblow.Benchmark(req.Benchmark); err != nil {
+			return JobSpec{}, err
+		}
+	case len(req.Instance) > 0:
+		// DecodeInstance validates, so the service never round-trips
+		// through temp files to sanity-check a submitted instance.
+		if in, err = eblow.DecodeInstance(bytes.NewReader(req.Instance)); err != nil {
+			return JobSpec{}, err
+		}
+	default:
+		return JobSpec{}, errors.New("service: one of benchmark or instance is required")
+	}
+	p := eblow.Params{
+		Workers:    req.Params.Workers,
+		Seed:       req.Params.Seed,
+		Restarts:   req.Params.Restarts,
+		Strategies: req.Params.Strategies,
+	}
+	if req.Params.Deadline != "" {
+		d, err := time.ParseDuration(req.Params.Deadline)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("service: bad deadline: %w", err)
+		}
+		p.Deadline = d
+	}
+	return JobSpec{Instance: in, Solver: req.Solver, Params: p, Label: req.Label}, nil
+}
+
+// jobJSON renders a status for the wire; full additionally inlines the
+// stencil plan (solutions are big, so the compact form carries a summary
+// only).
+func jobJSON(s JobStatus, full bool) map[string]any {
+	out := map[string]any{
+		"id":        s.ID,
+		"solver":    s.Solver,
+		"instance":  s.Instance,
+		"kind":      s.Kind.String(),
+		"state":     string(s.State),
+		"submitted": s.Submitted,
+	}
+	if s.Label != "" {
+		out["label"] = s.Label
+	}
+	if !s.Started.IsZero() {
+		out["started"] = s.Started
+	}
+	if !s.Finished.IsZero() {
+		out["finished"] = s.Finished
+	}
+	if s.Err != nil {
+		out["error"] = s.Err.Error()
+	}
+	if s.Result != nil {
+		res := map[string]any{
+			"strategy":  s.Result.Strategy,
+			"objective": s.Result.Objective,
+			"feasible":  s.Result.Feasible,
+			"elapsedMs": s.Result.Elapsed.Milliseconds(),
+			"selected":  s.Result.Solution.NumSelected(),
+		}
+		if len(s.Result.Runs) > 0 {
+			runs := make([]map[string]any, len(s.Result.Runs))
+			for i, r := range s.Result.Runs {
+				rj := map[string]any{"name": r.Name, "elapsedMs": r.Elapsed.Milliseconds(), "ok": r.Err == nil}
+				if r.Err != nil {
+					rj["error"] = r.Err.Error()
+				} else if r.Solution != nil {
+					rj["objective"] = r.Solution.WritingTime
+				}
+				runs[i] = rj
+			}
+			res["runs"] = runs
+		}
+		if full {
+			res["solution"] = s.Result.Solution
+		}
+		out["result"] = res
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

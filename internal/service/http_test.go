@@ -1,0 +1,258 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eblow"
+)
+
+func newTestServer(t *testing.T, workers int) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := New(Config{Workers: workers})
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return m, srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %v", resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func pollDone(t *testing.T, srv *httptest.Server, id string, within time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		code, job := getJSON(t, srv.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s returned %d", id, code)
+		}
+		state := job["state"].(string)
+		if State(state).Terminal() {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s", id, state, within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The acceptance path: concurrent 1D and 2D submissions over HTTP share one
+// pool and both complete feasibly.
+func TestHTTPSubmitPollBenchmark(t *testing.T) {
+	_, srv := newTestServer(t, 2)
+
+	job1 := postJob(t, srv, `{"benchmark": "1T-1", "params": {"seed": 1}}`)
+	job2 := postJob(t, srv, `{"benchmark": "2T-1", "params": {"seed": 1}}`)
+
+	for _, job := range []map[string]any{job1, job2} {
+		id := job["id"].(string)
+		final := pollDone(t, srv, id, 2*time.Minute)
+		if final["state"] != "done" {
+			t.Fatalf("job %s: %v", id, final)
+		}
+		result := final["result"].(map[string]any)
+		if result["feasible"] != true {
+			t.Errorf("job %s result not feasible: %v", id, result)
+		}
+		if result["objective"].(float64) <= 0 {
+			t.Errorf("job %s objective missing: %v", id, result)
+		}
+	}
+
+	// The full result carries the stencil plan.
+	id := job1["id"].(string)
+	code, full := getJSON(t, srv.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result endpoint returned %d", code)
+	}
+	sol := full["result"].(map[string]any)["solution"].(map[string]any)
+	if sol["writingTime"].(float64) <= 0 {
+		t.Errorf("solution missing from full result: %v", sol)
+	}
+}
+
+func TestHTTPInlineInstanceAndList(t *testing.T) {
+	_, srv := newTestServer(t, 2)
+
+	var buf bytes.Buffer
+	if err := eblow.EncodeInstance(&buf, eblow.SmallInstance(eblow.TwoD, 25, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"instance": %s, "solver": "greedy"}`, buf.String())
+	job := postJob(t, srv, body)
+	id := job["id"].(string)
+	if final := pollDone(t, srv, id, time.Minute); final["state"] != "done" {
+		t.Fatalf("inline instance job: %v", final)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0]["id"] != id {
+		t.Errorf("job list %v, want the one submitted job", list)
+	}
+}
+
+func TestHTTPEventsStream(t *testing.T) {
+	_, srv := newTestServer(t, 1)
+
+	job := postJob(t, srv, `{"benchmark": "1T-1", "solver": "greedy"}`)
+	id := job["id"].(string)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type %q", ct)
+	}
+	var states []string
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		var e Event
+		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		states = append(states, string(e.State))
+	}
+	if len(states) < 3 || states[0] != "queued" || states[len(states)-1] != "done" {
+		t.Errorf("event states %v, want queued ... done", states)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	_, srv := newTestServer(t, 1)
+
+	var buf bytes.Buffer
+	if err := eblow.EncodeInstance(&buf, eblow.SmallInstance(eblow.OneD, 60, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	job := postJob(t, srv, fmt.Sprintf(`{"instance": %s, "solver": "exact"}`, buf.String()))
+	id := job["id"].(string)
+
+	// The result endpoint refuses before the job is terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, job := getJSON(t, srv.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job returned %d", code)
+		}
+		if job["state"] == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %v", job)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, _ := getJSON(t, srv.URL+"/v1/jobs/"+id+"/result"); code != http.StatusConflict {
+		t.Errorf("result of a running job returned %d, want 409", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE returned %d", resp.StatusCode)
+	}
+	final := pollDone(t, srv, id, time.Minute)
+	if final["state"] != "canceled" {
+		t.Errorf("cancelled job state %v", final["state"])
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := newTestServer(t, 1)
+
+	for _, body := range []string{
+		`{}`,
+		`{"benchmark": "bogus-1"}`,
+		`{"benchmark": "1T-1", "instance": {"name": "x"}}`,
+		`{"benchmark": "1T-1", "solver": "nope"}`,
+		`{"benchmark": "1T-1", "params": {"deadline": "not-a-duration"}}`,
+		`{"benchmark": "1T-1", "unknown_field": 1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s returned %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if code, _ := getJSON(t, srv.URL+"/v1/jobs/none"); code != http.StatusNotFound {
+		t.Errorf("unknown job returned %d", code)
+	}
+}
+
+func TestHTTPSolversList(t *testing.T) {
+	_, srv := newTestServer(t, 1)
+	resp, err := http.Get(srv.URL + "/v1/solvers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, info := range infos {
+		names[info["name"].(string)] = true
+	}
+	for _, want := range []string{"eblow", "greedy", "exact", "portfolio"} {
+		if !names[want] {
+			t.Errorf("solver %q missing from listing %v", want, infos)
+		}
+	}
+}

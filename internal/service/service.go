@@ -1,0 +1,436 @@
+// Package service is the batched OSP job service: a long-running manager
+// that queues many stencil-planning instances, drains them through one
+// bounded worker pool shared across all jobs (reusing par.Pool), and
+// reports progress as a per-job event stream. It is the step from "one CLI
+// solve" to a server handling heavy traffic: submit returns immediately
+// with a job ID, status/result/cancel are keyed by that ID, and cmd/eblowd
+// exposes the whole thing over HTTP/JSON (see http.go).
+//
+// The service schedules strategies through the unified solver API
+// (eblow.SolveWith), so every registered strategy — "eblow", the baselines,
+// "exact", "portfolio" — is available by name. Results are deterministic
+// for a fixed seed regardless of the worker count or the order in which
+// queued jobs drain: each job's solve is worker-count independent, and jobs
+// never share random streams.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"eblow"
+	"eblow/internal/par"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: Queued -> Running -> one of Done / Failed / Canceled.
+// A queued job that is cancelled goes straight to Canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Workers is the size of the worker pool shared by every job (0 = one
+	// worker per CPU). At most Workers jobs solve concurrently; the rest
+	// wait in FIFO order.
+	Workers int
+}
+
+// JobSpec describes one solve to enqueue.
+type JobSpec struct {
+	// Instance is the problem to solve (required, validated at submit).
+	Instance *eblow.Instance
+	// Solver names the strategy to run ("" means the default E-BLOW
+	// planner for the instance kind; "portfolio" races the registered
+	// strategies, optionally restricted by Params.Strategies).
+	Solver string
+	// Params is the unified solver configuration. Workers 0 is normalised
+	// to 1 so the shared pool stays the real concurrency bound; submitters
+	// that want a multi-threaded solve ask for it explicitly.
+	Params eblow.Params
+	// Label is an optional caller tag echoed in statuses and events.
+	Label string
+}
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	// Seq numbers the job's events from 1.
+	Seq int `json:"seq"`
+	// JobID identifies the job.
+	JobID string `json:"job"`
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// State is the job state after the event.
+	State State `json:"state"`
+	// Message is a human-readable progress note.
+	Message string `json:"message,omitempty"`
+}
+
+// JobStatus is an immutable snapshot of one job.
+type JobStatus struct {
+	ID        string
+	Label     string
+	Solver    string
+	Instance  string
+	Kind      eblow.Kind
+	State     State
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Result is set once the job is done (and may carry a partial
+	// incumbent for a cancelled solve whose strategy returns best-so-far).
+	Result *eblow.Result
+	// Err reports why a failed or cancelled job carries no result.
+	Err error
+}
+
+// job is the mutable record behind a JobStatus, guarded by Manager.mu.
+type job struct {
+	id     string
+	spec   JobSpec
+	state  State
+	result *eblow.Result
+	err    error
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	ctx             context.Context
+	cancel          context.CancelFunc
+	cancelRequested bool
+
+	events  []Event
+	changed chan struct{} // closed and replaced on every event append
+}
+
+// ErrNotFound is returned for an unknown job ID.
+var ErrNotFound = errors.New("service: no such job")
+
+// ErrClosed is returned when submitting to a closed manager.
+var ErrClosed = errors.New("service: manager is closed")
+
+// Manager queues jobs and drains them through one shared worker pool.
+type Manager struct {
+	pool *par.Pool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+}
+
+// New starts a manager with cfg.Workers pool workers.
+func New(cfg Config) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		pool:       par.NewPool(cfg.Workers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+	}
+}
+
+// Workers returns the size of the shared worker pool.
+func (m *Manager) Workers() int { return m.pool.Workers() }
+
+// Submit validates the spec, enqueues the job and returns its initial
+// status. The call never blocks on the queue: the job solves once a pool
+// worker is free, in FIFO order.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	if spec.Instance == nil {
+		return JobStatus{}, errors.New("service: job needs an instance")
+	}
+	if err := spec.Instance.Validate(); err != nil {
+		return JobStatus{}, fmt.Errorf("service: invalid instance: %w", err)
+	}
+	if err := checkStrategies(spec); err != nil {
+		return JobStatus{}, err
+	}
+	if spec.Params.Workers <= 0 {
+		spec.Params.Workers = 1
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	m.nextID++
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &job{
+		id:        fmt.Sprintf("j%d", m.nextID),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		changed:   make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.appendEventLocked(j, "queued for "+solverLabel(spec))
+	status := m.statusLocked(j)
+	// Enqueue while still holding mu: Close sets closed under the same
+	// lock before closing the pool, so a submit that saw closed == false
+	// always reaches the pool before Close can shut it.
+	m.pool.Submit(func() { m.run(j) })
+	m.mu.Unlock()
+	return status, nil
+}
+
+// checkStrategies rejects unknown strategies and kind mismatches at submit
+// time, so a bad request fails fast instead of queueing a doomed job.
+func checkStrategies(spec JobSpec) error {
+	names := spec.Params.Strategies
+	for _, name := range names {
+		// The race cannot contain itself; entrants() would reject the job
+		// only after it queued, so fail the submit instead.
+		if name == "portfolio" && (spec.Solver != "" || len(names) > 1) {
+			return fmt.Errorf("service: %q cannot appear inside a strategy set; name it as the solver instead", name)
+		}
+	}
+	if spec.Solver != "" {
+		if len(names) > 0 && spec.Solver != "portfolio" {
+			return fmt.Errorf("service: solver %q conflicts with an explicit strategy set %v (use solver \"portfolio\" to race them)", spec.Solver, names)
+		}
+		names = append([]string{spec.Solver}, names...)
+	}
+	for _, name := range names {
+		info, ok := eblow.LookupInfo(name)
+		if !ok {
+			return fmt.Errorf("service: unknown solver %q (have %v)", name, eblow.SolverNames())
+		}
+		if !info.Supports(spec.Instance.Kind) {
+			return fmt.Errorf("service: solver %q does not support %s instances", name, spec.Instance.Kind)
+		}
+	}
+	return nil
+}
+
+func solverLabel(spec JobSpec) string {
+	switch {
+	case spec.Solver != "":
+		return spec.Solver
+	case len(spec.Params.Strategies) == 1:
+		return spec.Params.Strategies[0] // SolveWith runs it solo, not as a race
+	case len(spec.Params.Strategies) > 1:
+		return fmt.Sprintf("portfolio of %v", spec.Params.Strategies)
+	default:
+		return "eblow"
+	}
+}
+
+// run executes one job on a pool worker.
+func (m *Manager) run(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	m.appendEventLocked(j, fmt.Sprintf("solving %s (%s, %d characters)", j.spec.Instance.Name, j.spec.Instance.Kind, j.spec.Instance.NumCharacters()))
+	ctx, spec := j.ctx, j.spec
+	m.mu.Unlock()
+
+	// An explicit solver name runs that exact strategy — "portfolio" with a
+	// restricted Params.Strategies stays a race (per-entrant seed offsets,
+	// populated Runs) rather than collapsing to a bare single-strategy
+	// solve. Without a name, SolveWith's strategy-set dispatch applies.
+	var res *eblow.Result
+	var err error
+	if s, ok := eblow.Lookup(spec.Solver); spec.Solver != "" && ok {
+		res, err = s.Solve(ctx, spec.Instance, spec.Params)
+	} else {
+		res, err = eblow.SolveWith(ctx, spec.Instance, spec.Params)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	j.cancel() // release the job's context resources
+	switch {
+	case j.cancelRequested || (err != nil && errors.Is(err, context.Canceled)):
+		// Strategies that return their best-so-far plan on cancellation
+		// (annealing, branch and bound) still hand us a result; keep it as
+		// a partial incumbent but report the job as cancelled.
+		j.state = StateCanceled
+		j.result = res
+		j.err = err
+		if j.err == nil {
+			j.err = context.Canceled
+		}
+		m.appendEventLocked(j, "cancelled")
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+		m.appendEventLocked(j, "failed: "+err.Error())
+	default:
+		j.state = StateDone
+		j.result = res
+		m.appendEventLocked(j, fmt.Sprintf("done: strategy %s, writing time %d, feasible %v, %s",
+			res.Strategy, res.Objective, res.Feasible, res.Elapsed.Round(time.Millisecond)))
+	}
+}
+
+// Status returns a snapshot of the job.
+func (m *Manager) Status(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// List returns a snapshot of every job in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Cancel cancels the job: a queued job is marked cancelled immediately and
+// its queue slot becomes a no-op, a running job's context is cancelled so
+// its solver returns at the next checkpoint and the worker frees up for the
+// next queued job. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.cancel()
+		m.appendEventLocked(j, "cancelled while queued")
+	case StateRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+			m.appendEventLocked(j, "cancellation requested")
+		}
+	}
+	return m.statusLocked(j), nil
+}
+
+// Events streams the job's progress: every event recorded so far is
+// replayed in order, then live events follow until the job reaches a
+// terminal state or ctx is done, at which point the channel closes.
+func (m *Manager) Events(ctx context.Context, id string) (<-chan Event, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	ch := make(chan Event)
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			m.mu.Lock()
+			pending := append([]Event(nil), j.events[next:]...)
+			changed := j.changed
+			terminal := j.state.Terminal()
+			m.mu.Unlock()
+			for _, e := range pending {
+				select {
+				case ch <- e:
+				case <-ctx.Done():
+					return
+				}
+			}
+			next += len(pending)
+			if terminal {
+				return
+			}
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// Close stops accepting jobs, cancels everything queued or running, waits
+// for the pool workers to finish and returns. Job records stay readable.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.pool.Close()
+		return
+	}
+	m.closed = true
+	for _, j := range m.jobs {
+		if j.state == StateRunning {
+			j.cancelRequested = true
+		}
+	}
+	m.mu.Unlock()
+	m.baseCancel() // cancels every job context, queued slots drain as no-ops
+	m.pool.Close()
+}
+
+// appendEventLocked records an event on the job and wakes subscribers.
+// Callers hold m.mu.
+func (m *Manager) appendEventLocked(j *job, message string) {
+	j.events = append(j.events, Event{
+		Seq:     len(j.events) + 1,
+		JobID:   j.id,
+		Time:    time.Now(),
+		State:   j.state,
+		Message: message,
+	})
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// statusLocked snapshots the job. Callers hold m.mu.
+func (m *Manager) statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID:        j.id,
+		Label:     j.spec.Label,
+		Solver:    solverLabel(j.spec),
+		Instance:  j.spec.Instance.Name,
+		Kind:      j.spec.Instance.Kind,
+		State:     j.state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Result:    j.result,
+		Err:       j.err,
+	}
+}

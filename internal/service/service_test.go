@@ -1,0 +1,286 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"eblow"
+)
+
+// waitTerminal polls until the job leaves the queue/run states.
+func waitTerminal(t *testing.T, m *Manager, id string, within time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		s, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.State.Terminal() {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s", id, s.State, within)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitState polls until the job reaches the given state.
+func waitState(t *testing.T, m *Manager, id string, want State, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		s, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.State == want {
+			return
+		}
+		if s.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, wanted %s", id, s.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A single-worker pool must drain queued jobs strictly in submission order,
+// one at a time.
+func TestQueueFairnessSingleWorkerFIFO(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		in := eblow.SmallInstance(eblow.OneD, 30, 2, int64(i+1))
+		s, err := m.Submit(JobSpec{Instance: in, Solver: "greedy", Label: fmt.Sprintf("job-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+	}
+	var statuses []JobStatus
+	for _, id := range ids {
+		statuses = append(statuses, waitTerminal(t, m, id, 30*time.Second))
+	}
+	for i, s := range statuses {
+		if s.State != StateDone {
+			t.Fatalf("job %s finished %s (%v)", s.ID, s.State, s.Err)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := statuses[i-1]
+		if s.Started.Before(prev.Started) {
+			t.Errorf("job %s started before earlier job %s on a 1-worker pool", s.ID, prev.ID)
+		}
+		if s.Started.Before(prev.Finished) {
+			t.Errorf("jobs %s and %s overlapped on a 1-worker pool", prev.ID, s.ID)
+		}
+	}
+}
+
+// More jobs than workers: everything still completes, sharing the pool.
+func TestQueueDrainsWithFewWorkers(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Close()
+
+	var ids []string
+	for i := 0; i < 8; i++ {
+		kind := eblow.OneD
+		if i%2 == 1 {
+			kind = eblow.TwoD
+		}
+		in := eblow.SmallInstance(kind, 25, 2, int64(i+1))
+		s, err := m.Submit(JobSpec{Instance: in, Solver: "greedy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+	}
+	for _, id := range ids {
+		if s := waitTerminal(t, m, id, 30*time.Second); s.State != StateDone || !s.Result.Feasible {
+			t.Fatalf("job %s: state %s, err %v", id, s.State, s.Err)
+		}
+	}
+}
+
+// Cancelling a running job must return its worker to the pool so queued
+// jobs still get solved.
+func TestCancelMidSolveFreesWorker(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	// Exact branch and bound on 60 characters runs far longer than this
+	// test and checks the context at every node, so it cancels promptly.
+	slow, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 60, 3, 7), Solver: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 8), Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitState(t, m, slow.ID, StateRunning, 30*time.Second)
+	if s, err := m.Status(fast.ID); err != nil || s.State != StateQueued {
+		t.Fatalf("fast job should be queued behind the slow one, got %v (%v)", s.State, err)
+	}
+	if _, err := m.Cancel(slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Cancellation itself lands within milliseconds; the wide budget only
+	// absorbs CPU contention from test packages running in parallel.
+	if s := waitTerminal(t, m, slow.ID, time.Minute); s.State != StateCanceled {
+		t.Fatalf("cancelled job finished %s (%v)", s.State, s.Err)
+	}
+	if s := waitTerminal(t, m, fast.ID, 30*time.Second); s.State != StateDone {
+		t.Fatalf("queued job behind the cancelled one finished %s (%v)", s.State, s.Err)
+	}
+}
+
+// Cancelling a queued job must skip it entirely.
+func TestCancelQueuedJob(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	slow, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 60, 3, 9), Solver: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 10), Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := m.Cancel(queued.ID); err != nil || s.State != StateCanceled {
+		t.Fatalf("queued cancel: state %v, err %v", s.State, err)
+	}
+	if _, err := m.Cancel(slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, m, queued.ID, 5*time.Second); s.State != StateCanceled {
+		t.Fatalf("queued job ran anyway: %s", s.State)
+	}
+}
+
+// For a fixed seed the batched results must match solving each instance
+// serially, regardless of worker count and submission order.
+func TestDeterministicAcrossQueueOrder(t *testing.T) {
+	type tc struct {
+		kind eblow.Kind
+		n    int
+		seed int64
+	}
+	cases := []tc{{eblow.OneD, 40, 1}, {eblow.TwoD, 30, 2}, {eblow.OneD, 50, 3}, {eblow.TwoD, 25, 4}}
+	instances := make([]*eblow.Instance, len(cases))
+	reference := make([]*eblow.Result, len(cases))
+	for i, c := range cases {
+		instances[i] = eblow.SmallInstance(c.kind, c.n, 2, c.seed)
+		r, err := eblow.SolveWith(context.Background(), instances[i], eblow.Params{Workers: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference[i] = r
+	}
+
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}} {
+		m := New(Config{Workers: 3})
+		ids := make(map[int]string)
+		for _, idx := range order {
+			s, err := m.Submit(JobSpec{Instance: instances[idx], Params: eblow.Params{Seed: 5}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[idx] = s.ID
+		}
+		for idx, id := range ids {
+			s := waitTerminal(t, m, id, 2*time.Minute)
+			if s.State != StateDone {
+				t.Fatalf("order %v: job %s finished %s (%v)", order, id, s.State, s.Err)
+			}
+			want := reference[idx]
+			if s.Result.Objective != want.Objective {
+				t.Errorf("order %v instance %d: objective %d, serial reference %d",
+					order, idx, s.Result.Objective, want.Objective)
+			}
+			if !reflect.DeepEqual(s.Result.Solution.Selected, want.Solution.Selected) {
+				t.Errorf("order %v instance %d: selection differs from serial reference", order, idx)
+			}
+		}
+		m.Close()
+	}
+}
+
+func TestEventsReplayAndStream(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	in := eblow.SmallInstance(eblow.OneD, 30, 2, 11)
+	s, err := m.Submit(JobSpec{Instance: in, Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := m.Events(context.Background(), s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for e := range ch {
+		events = append(events, e)
+	}
+	if len(events) < 3 {
+		t.Fatalf("expected at least queued/running/done events, got %v", events)
+	}
+	if events[0].State != StateQueued {
+		t.Errorf("first event %s, want queued", events[0].State)
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone {
+		t.Errorf("last event %s, want done", last.State)
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	if _, err := m.Submit(JobSpec{}); err == nil {
+		t.Error("nil instance accepted")
+	}
+	in := eblow.SmallInstance(eblow.TwoD, 20, 2, 12)
+	if _, err := m.Submit(JobSpec{Instance: in, Solver: "nope"}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	if _, err := m.Submit(JobSpec{Instance: in, Solver: "row25"}); err == nil {
+		t.Error("1D-only solver accepted for a 2D instance")
+	}
+	if _, err := m.Submit(JobSpec{Instance: in, Solver: "greedy", Params: eblow.Params{Strategies: []string{"eblow"}}}); err == nil {
+		t.Error("conflicting solver + strategy set accepted")
+	}
+	if _, err := m.Submit(JobSpec{Instance: in, Params: eblow.Params{Strategies: []string{"greedy", "portfolio"}}}); err == nil {
+		t.Error("portfolio inside a strategy set accepted")
+	}
+	if _, err := m.Events(context.Background(), "none"); err != ErrNotFound {
+		t.Errorf("Events on unknown job: %v", err)
+	}
+	if _, err := m.Status("none"); err != ErrNotFound {
+		t.Errorf("Status on unknown job: %v", err)
+	}
+}
+
+func TestCloseRejectsNewJobs(t *testing.T) {
+	m := New(Config{Workers: 1})
+	m.Close()
+	if _, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 20, 2, 13), Solver: "greedy"}); err != ErrClosed {
+		t.Errorf("submit after close: %v", err)
+	}
+}

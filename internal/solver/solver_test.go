@@ -1,0 +1,151 @@
+package solver_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"eblow/internal/core"
+	"eblow/internal/gen"
+	_ "eblow/internal/portfolio" // registers the "portfolio" strategy
+	"eblow/internal/solver"
+)
+
+func TestRegistryRaceOrder(t *testing.T) {
+	want1D := []string{"eblow", "row25", "heuristic24", "greedy"}
+	if got := solver.RacingNames(core.OneD); !reflect.DeepEqual(got, want1D) {
+		t.Errorf("1D race order %v, want %v", got, want1D)
+	}
+	want2D := []string{"eblow", "sa24", "greedy"}
+	if got := solver.RacingNames(core.TwoD); !reflect.DeepEqual(got, want2D) {
+		t.Errorf("2D race order %v, want %v", got, want2D)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"eblow", "row25", "heuristic24", "sa24", "greedy", "exact", "portfolio"} {
+		s, ok := solver.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if s.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, ok := solver.Lookup("bogus"); ok {
+		t.Error("Lookup accepted an unknown strategy")
+	}
+}
+
+// The seed offsets are part of the determinism contract: they keep race
+// results identical to the pre-registry strategy table.
+func TestSeedOffsetsPinned(t *testing.T) {
+	want := map[string]int64{"eblow": 0, "row25": 0, "greedy": 0, "heuristic24": 1, "sa24": 2}
+	for name, off := range want {
+		e, ok := solver.LookupEntry(name)
+		if !ok {
+			t.Fatalf("no entry %q", name)
+		}
+		if e.SeedOffset != off {
+			t.Errorf("%s: seed offset %d, want %d", name, e.SeedOffset, off)
+		}
+	}
+}
+
+func TestUniformResultContract(t *testing.T) {
+	in := gen.Small(core.OneD, 40, 2, 3)
+	r, err := solver.Solve(context.Background(), "greedy", in, solver.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Solution == nil {
+		t.Fatal("no solution")
+	}
+	if !r.Feasible {
+		t.Error("greedy plan reported infeasible")
+	}
+	if r.Objective != r.Solution.WritingTime {
+		t.Errorf("objective %d != writing time %d", r.Objective, r.Solution.WritingTime)
+	}
+	if r.Strategy != "greedy" {
+		t.Errorf("strategy %q, want greedy", r.Strategy)
+	}
+	if r.Elapsed <= 0 {
+		t.Error("elapsed not stamped")
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	in2 := gen.Small(core.TwoD, 20, 2, 4)
+	if _, err := solver.Solve(context.Background(), "row25", in2, solver.Params{}); err == nil {
+		t.Error("row25 accepted a 2D instance")
+	} else if !strings.Contains(err.Error(), "supports 1D") {
+		t.Errorf("unhelpful kind error: %v", err)
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	in := gen.Small(core.OneD, 20, 2, 4)
+	if _, err := solver.Solve(context.Background(), "nope", in, solver.Params{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestDeadlineBoundsSolve(t *testing.T) {
+	in := gen.Small(core.OneD, 200, 4, 5)
+	_, err := solver.Solve(context.Background(), "eblow", in, solver.Params{Deadline: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expected DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestCollectTrace(t *testing.T) {
+	in := gen.Small(core.OneD, 40, 2, 6)
+	r, err := solver.Solve(context.Background(), "eblow", in, solver.Params{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace == nil || len(r.Trace.UnsolvedPerIteration) == 0 {
+		t.Error("CollectTrace produced no trace")
+	}
+}
+
+func TestPortfolioStrategyRaces(t *testing.T) {
+	in := gen.Small(core.OneD, 40, 2, 7)
+	r, err := solver.Solve(context.Background(), "portfolio", in, solver.Params{
+		Seed:       1,
+		Strategies: []string{"greedy", "row25"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 2 {
+		t.Fatalf("expected 2 runs, got %d", len(r.Runs))
+	}
+	if r.Strategy != "greedy" && r.Strategy != "row25" {
+		t.Errorf("winner %q not among the raced strategies", r.Strategy)
+	}
+	if !r.Feasible {
+		t.Error("race winner infeasible")
+	}
+}
+
+// The unified entry must return the same plan as the legacy per-strategy
+// path for a fixed seed.
+func TestRegistryMatchesDirectSolve(t *testing.T) {
+	in := gen.Small(core.TwoD, 30, 2, 8)
+	a, err := solver.Solve(context.Background(), "sa24", in, solver.Params{Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := solver.Solve(context.Background(), "sa24", in, solver.Params{Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || !reflect.DeepEqual(a.Solution.Selected, b.Solution.Selected) {
+		t.Error("sa24 result changed with worker count")
+	}
+}
