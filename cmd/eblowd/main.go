@@ -5,6 +5,11 @@
 // name ("eblow", "greedy", "heuristic24", "row25", "sa24", "exact",
 // "portfolio").
 //
+// The server is hardened for sustained traffic: finished job records are
+// evicted after -record-ttl so memory stays bounded, and once -max-pending
+// jobs are waiting new submissions are rejected with 429 Too Many Requests
+// instead of growing the queue without limit.
+//
 // API (JSON unless noted):
 //
 //	GET    /v1/solvers            registered strategies
@@ -45,12 +50,14 @@ func main() {
 	log.SetPrefix("eblowd: ")
 
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for a random free port)")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker pool size shared by every submitted job")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for a random free port)")
+		workers    = flag.Int("workers", runtime.NumCPU(), "worker pool size shared by every submitted job")
+		recordTTL  = flag.Duration("record-ttl", time.Hour, "how long finished job records stay readable (0 keeps them forever)")
+		maxPending = flag.Int("max-pending", 1024, "max queued jobs before submissions are rejected with 429 (0 = unbounded)")
 	)
 	flag.Parse()
 
-	m := service.New(service.Config{Workers: *workers})
+	m := service.New(service.Config{Workers: *workers, RecordTTL: *recordTTL, MaxPending: *maxPending})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)

@@ -10,20 +10,24 @@
 //	ospbench -figure 5
 //	ospbench -figure 11
 //	ospbench -portfolio 2D-1 -timeout 20s
+//	ospbench -workers-sweep 1T-3 -sweep-workers 1,2,4,8 -exact-time 10s
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"eblow"
+	"eblow/internal/exact"
 	"eblow/internal/report"
 )
 
@@ -32,17 +36,20 @@ func main() {
 	log.SetPrefix("ospbench: ")
 
 	var (
-		table     = flag.Int("table", 0, "table to regenerate: 3, 4 or 5")
-		figure    = flag.Int("figure", 0, "figure to regenerate: 5, 6, 11 or 12")
-		portfolio = flag.String("portfolio", "", "race the solver portfolio on this benchmark case (e.g. 2D-1), once with 1 worker and once with -workers, and report both wall-clock times")
-		cases     = flag.String("cases", "", "comma-separated case list (default: the paper's cases)")
-		seed      = flag.Int64("seed", 1, "seed for randomized planners")
-		workers   = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel solver stages")
-		restarts  = flag.Int("restarts", 2, "annealing restarts for the portfolio race")
-		timeout   = flag.Duration("timeout", 30*time.Second, "deadline for each portfolio race")
-		saTime    = flag.Duration("sa-time", 20*time.Second, "time limit per case for the prior-work 2D annealer")
-		eblowTime = flag.Duration("eblow-time", 10*time.Second, "time limit per case for the E-BLOW 2D annealer")
-		exactTime = flag.Duration("exact-time", 20*time.Second, "time limit per case for the exact ILP (Table 5)")
+		table        = flag.Int("table", 0, "table to regenerate: 3, 4 or 5")
+		figure       = flag.Int("figure", 0, "figure to regenerate: 5, 6, 11 or 12")
+		portfolio    = flag.String("portfolio", "", "race the solver portfolio on this benchmark case (e.g. 2D-1), once with 1 worker and once with -workers, and report both wall-clock times")
+		workersSweep = flag.String("workers-sweep", "", "run the exact branch and bound on this benchmark case (e.g. 1T-3) at every -sweep-workers count and report the node-throughput scaling curve")
+		sweepWorkers = flag.String("sweep-workers", "1,2,4,8", "comma-separated worker counts for -workers-sweep")
+		sweepJSON    = flag.Bool("json", false, "emit the -workers-sweep result as JSON (for BENCH tracking) instead of a table")
+		cases        = flag.String("cases", "", "comma-separated case list (default: the paper's cases)")
+		seed         = flag.Int64("seed", 1, "seed for randomized planners")
+		workers      = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel solver stages")
+		restarts     = flag.Int("restarts", 2, "annealing restarts for the portfolio race")
+		timeout      = flag.Duration("timeout", 30*time.Second, "deadline for each portfolio race")
+		saTime       = flag.Duration("sa-time", 20*time.Second, "time limit per case for the prior-work 2D annealer")
+		eblowTime    = flag.Duration("eblow-time", 10*time.Second, "time limit per case for the E-BLOW 2D annealer")
+		exactTime    = flag.Duration("exact-time", 20*time.Second, "time limit per case for the exact ILP (Table 5, -workers-sweep)")
 	)
 	flag.Parse()
 
@@ -62,6 +69,8 @@ func main() {
 	}
 
 	switch {
+	case *workersSweep != "":
+		fail(sweepExactWorkers(ctx, *workersSweep, *sweepWorkers, *exactTime, *sweepJSON))
 	case *portfolio != "":
 		fail(racePortfolio(ctx, *portfolio, *workers, *restarts, *seed, *timeout))
 	case *table == 3:
@@ -90,8 +99,102 @@ func main() {
 		fail(err)
 		fmt.Print(report.FormatAblation(rows))
 	default:
-		log.Fatal("specify -table 3|4|5, -figure 5|6|11|12 or -portfolio <case>")
+		log.Fatal("specify -table 3|4|5, -figure 5|6|11|12, -portfolio <case> or -workers-sweep <case>")
 	}
+}
+
+// sweepRun is one -workers-sweep measurement, shaped for the BENCH json log.
+type sweepRun struct {
+	Case        string  `json:"case"`
+	Workers     int     `json:"workers"`
+	Status      string  `json:"status"`
+	Objective   int64   `json:"objective"`
+	Nodes       int     `json:"nodes"`
+	ElapsedMs   int64   `json:"elapsedMs"`
+	NodesPerSec float64 `json:"nodesPerSec"`
+	ThroughputX float64 `json:"throughputX"` // node throughput relative to workers=1
+}
+
+// sweepExactWorkers runs the exact branch and bound on one benchmark case at
+// each requested worker count under the same time limit and reports the
+// scaling curve: wall clock, explored nodes, node throughput, and the
+// throughput ratio against the single-worker run. The solver guarantees a
+// worker-count-independent result, so the sweep also cross-checks that the
+// status and objective agree across all runs.
+func sweepExactWorkers(ctx context.Context, caseName, workerList string, limit time.Duration, asJSON bool) error {
+	in, err := eblow.Benchmark(caseName)
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for _, f := range strings.Split(workerList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return fmt.Errorf("bad -sweep-workers entry %q", f)
+		}
+		counts = append(counts, w)
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("-sweep-workers lists no worker counts")
+	}
+	if !asJSON {
+		fmt.Printf("exact workers sweep on %s (%s, %d characters, %d regions), time limit %s per run\n",
+			in.Name, in.Kind, in.NumCharacters(), in.NumRegions, limit)
+	}
+
+	var runs []sweepRun
+	for _, w := range counts {
+		// Straight to the formulation layer rather than the registry
+		// wrapper: a run that hits the limit with no incumbent is still a
+		// valid throughput measurement, not an error.
+		var ex *eblow.ExactResult
+		if in.Kind == eblow.OneD {
+			ex, err = exact.Solve1D(ctx, in, exact.Options{TimeLimit: limit, Workers: w})
+		} else {
+			ex, err = exact.Solve2D(ctx, in, exact.Options{TimeLimit: limit, Workers: w})
+		}
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		run := sweepRun{
+			Case:      in.Name,
+			Workers:   w,
+			Status:    ex.Status.String(),
+			Objective: -1,
+			Nodes:     ex.Nodes,
+			ElapsedMs: ex.Elapsed.Milliseconds(),
+		}
+		if ex.Solution != nil {
+			run.Objective = ex.Solution.WritingTime
+		}
+		if s := ex.Elapsed.Seconds(); s > 0 {
+			run.NodesPerSec = float64(ex.Nodes) / s
+		}
+		run.ThroughputX = 1
+		if len(runs) > 0 && runs[0].NodesPerSec > 0 {
+			run.ThroughputX = run.NodesPerSec / runs[0].NodesPerSec
+		}
+		runs = append(runs, run)
+		if !asJSON {
+			fmt.Printf("workers=%-3d wall %-10s status %-9s T=%-8d nodes=%-8d nodes/s=%-10.1f x%.2f\n",
+				run.Workers, ex.Elapsed.Round(time.Millisecond), run.Status, run.Objective,
+				run.Nodes, run.NodesPerSec, run.ThroughputX)
+		}
+	}
+	if asJSON {
+		return json.NewEncoder(os.Stdout).Encode(runs)
+	}
+	// The determinism cross-check: every run must agree on status and
+	// objective (node counts may differ — a faster incumbent skips work).
+	for _, r := range runs[1:] {
+		if r.Status != runs[0].Status || r.Objective != runs[0].Objective {
+			fmt.Printf("WARNING: workers=%d returned %s T=%d, workers=%d returned %s T=%d — time limit truncated the runs differently\n",
+				runs[0].Workers, runs[0].Status, runs[0].Objective, r.Workers, r.Status, r.Objective)
+			return nil
+		}
+	}
+	fmt.Printf("identical status/objective at every worker count\n")
+	return nil
 }
 
 // racePortfolio runs the same seeded portfolio race twice — once on a

@@ -173,18 +173,20 @@ func PortfolioStrategies(kind Kind) []string { return portfolio.Names(kind) }
 // bound. The context cancels the search; the time limit bounds it even
 // without a context deadline.
 //
-// Deprecated: use Lookup("exact") with Params.Deadline as the time limit;
-// the branch-and-bound details are returned in Result.Exact.
+// Deprecated: use Lookup("exact") with Params.Deadline as the time limit and
+// Params.Workers for the parallel branch and bound; the details are returned
+// in Result.Exact.
 func Exact1D(ctx context.Context, in *Instance, timeLimit time.Duration) (*ExactResult, error) {
-	return exact.Solve1D(ctx, in, timeLimit)
+	return exact.Solve1D(ctx, in, exact.Options{TimeLimit: timeLimit})
 }
 
 // Exact2D solves formulation (7) of the paper exactly with branch and bound.
 //
-// Deprecated: use Lookup("exact") with Params.Deadline as the time limit;
-// the branch-and-bound details are returned in Result.Exact.
+// Deprecated: use Lookup("exact") with Params.Deadline as the time limit and
+// Params.Workers for the parallel branch and bound; the details are returned
+// in Result.Exact.
 func Exact2D(ctx context.Context, in *Instance, timeLimit time.Duration) (*ExactResult, error) {
-	return exact.Solve2D(ctx, in, timeLimit)
+	return exact.Solve2D(ctx, in, exact.Options{TimeLimit: timeLimit})
 }
 
 // Greedy1D is the greedy 1D baseline of the paper's Table 3.

@@ -17,14 +17,14 @@ func TestSolveCancelledContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if _, err := Solve1D(ctx, in1, time.Minute); !errors.Is(err, context.Canceled) {
+	if _, err := Solve1D(ctx, in1, Options{TimeLimit: time.Minute}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Solve1D: expected context.Canceled, got %v", err)
 	}
 	in2, err := gen.ByName("2T-1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Solve2D(ctx, in2, time.Minute); !errors.Is(err, context.Canceled) {
+	if _, err := Solve2D(ctx, in2, Options{TimeLimit: time.Minute}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Solve2D: expected context.Canceled, got %v", err)
 	}
 	if d := time.Since(start); d > time.Second {
@@ -42,7 +42,7 @@ func TestSolveContextDeadlineCutsSearch(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	res, err := Solve1D(ctx, in, time.Hour)
+	res, err := Solve1D(ctx, in, Options{TimeLimit: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}

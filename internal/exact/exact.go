@@ -16,6 +16,19 @@ import (
 	"eblow/internal/lp"
 )
 
+// Options configures an exact solve.
+type Options struct {
+	// TimeLimit bounds the branch-and-bound search (0 = only the context
+	// bounds it). The formulations are exponential, so production callers
+	// always set one.
+	TimeLimit time.Duration
+	// Workers is the number of branch-and-bound workers evaluating node
+	// relaxations in parallel, each on its own simplex clone (0 = one per
+	// CPU, 1 = sequential). Status, objective and solution are bit-identical
+	// for every worker count.
+	Workers int
+}
+
 // Result is the outcome of an exact solve.
 type Result struct {
 	// Solution is nil when the solver hit its limit without an incumbent.
@@ -36,7 +49,7 @@ type Result struct {
 // row k) and p_ij (left/right ordering); constraints (3a)-(3f). The context
 // cancels the branch-and-bound search; an already-done context returns
 // ctx.Err() before any work happens.
-func Solve1D(ctx context.Context, in *core.Instance, timeLimit time.Duration) (*Result, error) {
+func Solve1D(ctx context.Context, in *core.Instance, opt Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -139,7 +152,8 @@ func Solve1D(ctx context.Context, in *core.Instance, timeLimit time.Duration) (*
 
 	res, err := ilp.Solve(ctx, ilp.NewBinaryProblem(prob, binaries), ilp.Options{
 		Maximize:  false,
-		TimeLimit: timeLimit,
+		TimeLimit: opt.TimeLimit,
+		Workers:   opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -193,7 +207,7 @@ func Solve1D(ctx context.Context, in *core.Instance, timeLimit time.Duration) (*
 // position encoding); constraints (7a)-(7g). The context cancels the
 // branch-and-bound search; an already-done context returns ctx.Err() before
 // any work happens.
-func Solve2D(ctx context.Context, in *core.Instance, timeLimit time.Duration) (*Result, error) {
+func Solve2D(ctx context.Context, in *core.Instance, opt Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -290,7 +304,8 @@ func Solve2D(ctx context.Context, in *core.Instance, timeLimit time.Duration) (*
 
 	res, err := ilp.Solve(ctx, ilp.NewBinaryProblem(prob, binaries), ilp.Options{
 		Maximize:  false,
-		TimeLimit: timeLimit,
+		TimeLimit: opt.TimeLimit,
+		Workers:   opt.Workers,
 	})
 	if err != nil {
 		return nil, err

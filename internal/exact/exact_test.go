@@ -28,7 +28,7 @@ func tiny1D(n int) *core.Instance {
 
 func TestSolve1DTinyOptimal(t *testing.T) {
 	in := tiny1D(5)
-	res, err := Solve1D(context.Background(), in, 30*time.Second)
+	res, err := Solve1D(context.Background(), in, Options{TimeLimit: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestSolve1DTinyOptimal(t *testing.T) {
 func TestSolve1DRespectsTimeLimit(t *testing.T) {
 	in := gen.Tiny1T(3) // 11 candidates: too big to finish in a few ms
 	start := time.Now()
-	res, err := Solve1D(context.Background(), in, 150*time.Millisecond)
+	res, err := Solve1D(context.Background(), in, Options{TimeLimit: 150 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestSolve2DTiny(t *testing.T) {
 		Seed:      7,
 	}
 	in := gen.Generate(p)
-	res, err := Solve2D(context.Background(), in, 30*time.Second)
+	res, err := Solve2D(context.Background(), in, Options{TimeLimit: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,10 +100,79 @@ func TestSolve2DTiny(t *testing.T) {
 }
 
 func TestSolveRejectsWrongKind(t *testing.T) {
-	if _, err := Solve1D(context.Background(), gen.Small(core.TwoD, 5, 1, 1), time.Second); err == nil {
+	if _, err := Solve1D(context.Background(), gen.Small(core.TwoD, 5, 1, 1), Options{TimeLimit: time.Second}); err == nil {
 		t.Error("Solve1D accepted a 2D instance")
 	}
-	if _, err := Solve2D(context.Background(), gen.Small(core.OneD, 5, 1, 1), time.Second); err == nil {
+	if _, err := Solve2D(context.Background(), gen.Small(core.OneD, 5, 1, 1), Options{TimeLimit: time.Second}); err == nil {
 		t.Error("Solve2D accepted a 1D instance")
+	}
+}
+
+// The golden determinism contract of the parallel branch and bound, checked
+// end-to-end through the formulation layer: Workers=1 and Workers=8 must
+// return the identical status, objective and stencil plan (run under -race
+// in CI).
+func TestWorkersDeterminism1D(t *testing.T) {
+	in := tiny1D(6)
+	seq, err := Solve1D(context.Background(), in, Options{TimeLimit: 30 * time.Second, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve1D(context.Background(), in, Options{TimeLimit: 30 * time.Second, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameExact(t, in, seq, par)
+}
+
+func TestWorkersDeterminism2D(t *testing.T) {
+	p := gen.Params{
+		Name: "exact-det2d", Kind: core.TwoD,
+		NumChars: 4, NumRegions: 1,
+		StencilW: 90, StencilH: 90,
+		MinWidth: 40, MaxWidth: 40, MinHeight: 40, MaxHeight: 40,
+		MinBlank: 3, MaxBlank: 10,
+		MinShots: 2, MaxShots: 30, ShotAreaUnit: 45,
+		MaxRepeat: 10,
+		Seed:      7,
+	}
+	in := gen.Generate(p)
+	seq, err := Solve2D(context.Background(), in, Options{TimeLimit: 30 * time.Second, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve2D(context.Background(), in, Options{TimeLimit: 30 * time.Second, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameExact(t, in, seq, par)
+}
+
+// assertSameExact requires two exact results to carry the same status, the
+// same writing time and the same character selection.
+func assertSameExact(t *testing.T, in *core.Instance, a, b *Result) {
+	t.Helper()
+	if a.Status != b.Status {
+		t.Fatalf("status differs across worker counts: %v vs %v", a.Status, b.Status)
+	}
+	if (a.Solution == nil) != (b.Solution == nil) {
+		t.Fatalf("one worker count produced a plan, the other did not")
+	}
+	if a.Solution == nil {
+		return
+	}
+	if err := a.Solution.Validate(in); err != nil {
+		t.Fatalf("sequential plan invalid: %v", err)
+	}
+	if err := b.Solution.Validate(in); err != nil {
+		t.Fatalf("parallel plan invalid: %v", err)
+	}
+	if a.Solution.WritingTime != b.Solution.WritingTime {
+		t.Errorf("writing time differs: %d vs %d", a.Solution.WritingTime, b.Solution.WritingTime)
+	}
+	for i, sel := range a.Solution.Selected {
+		if sel != b.Solution.Selected[i] {
+			t.Errorf("selection of character %d differs across worker counts", i)
+		}
 	}
 }

@@ -1,13 +1,18 @@
-// Package ilp implements a branch-and-bound solver for (mixed) integer
-// linear programs on top of the simplex solver in package lp. Together the
-// two packages replace the commercial solver used by the E-BLOW paper for
-// the exact ILP formulations (3) and (7) and for the fast-ILP-convergence
-// step of the 1D planner.
+// Package ilp implements a parallel branch-and-bound solver for (mixed)
+// integer linear programs on top of the simplex solver in package lp.
+// Together the two packages replace the commercial solver used by the E-BLOW
+// paper for the exact ILP formulations (3) and (7) and for the
+// fast-ILP-convergence step of the 1D planner.
 //
 // The solver uses best-bound node selection, most-fractional branching and
 // supports wall-clock and node-count limits, which matters because the exact
 // OSP formulations are deliberately allowed to time out in the Table 5
 // experiment (that is the point of the comparison).
+//
+// Node relaxations are evaluated by Options.Workers goroutines, each owning
+// a private clone of the LP (see engine.go for the work-stealing round
+// design). Status, Objective and Solution are bit-identical for every
+// worker count; only the wall-clock time changes.
 package ilp
 
 import (
@@ -16,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"eblow/internal/lp"
@@ -85,6 +91,12 @@ type Options struct {
 	// constructed through Maximize()/Minimize() helpers; Solve reads the
 	// sense from this flag because lp.Problem does not expose it.
 	Maximize bool
+	// Workers is the number of goroutines evaluating node relaxations, each
+	// on its own clone of the LP (0 = one per CPU, 1 = sequential). The
+	// returned Status, Objective and Solution are bit-identical for every
+	// worker count; Nodes may differ because a faster incumbent lets the
+	// engine skip relaxations it would otherwise have evaluated.
+	Workers int
 }
 
 // Result is the outcome of a solve.
@@ -92,6 +104,12 @@ type Result struct {
 	Status    Status
 	Objective float64
 	X         []float64
+	// Nodes counts the fully evaluated nodes: relaxations that ran to a
+	// conclusive LP status. Nodes pruned before or instead of evaluation,
+	// and nodes whose simplex was cut off by a pivot budget or a
+	// cancellation, do not count. For a fixed problem the count is
+	// deterministic at Workers=1 (absent limits); across worker counts it
+	// may differ even though the result never does.
 	Nodes     int
 	BestBound float64
 	Elapsed   time.Duration
@@ -102,37 +120,12 @@ var ErrBadProblem = errors.New("ilp: invalid problem")
 
 const intTol = 1e-6
 
-type node struct {
-	bounds []boundChange
-	bound  float64 // LP relaxation value at the parent (optimistic)
-	depth  int
-}
-
-type boundChange struct {
-	v      int
-	lo, hi float64
-}
-
-// nodeQueue is a max-heap on the optimistic bound (for maximization; bounds
-// are stored pre-negated for minimization so max-heap is always right).
-type nodeQueue []*node
-
-func (q nodeQueue) Len() int            { return len(q) }
-func (q nodeQueue) Less(i, j int) bool  { return q[i].bound > q[j].bound }
-func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
-func (q *nodeQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
-// Solve runs branch and bound. The LP inside p is used as a template: its
-// variable bounds are temporarily overridden per node and restored before
-// returning. A done context stops the search like a time limit: the best
-// incumbent found so far (if any) is returned with a Feasible/Limit status.
+// Solve runs parallel branch and bound. The LP inside p is used as a
+// read-only template: every worker solves node relaxations on its own clone,
+// so p is never mutated (callers may reuse it concurrently as long as they
+// do not mutate it either). A done context stops the search like a time
+// limit: the best incumbent found so far (if any) is returned with a
+// Feasible/Limit status.
 func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	if p == nil || p.LP == nil || len(p.Integer) != p.LP.NumVars() {
 		return nil, fmt.Errorf("%w: integrality flags do not match LP", ErrBadProblem)
@@ -140,178 +133,93 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	if opt.Gap <= 0 {
 		opt.Gap = 1e-6
 	}
-	start := time.Now()
-	deadline := time.Time{}
-	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > maxBatch {
+		// A round never evaluates more than maxBatch nodes, so extra workers
+		// could never run — and each one costs a full LP clone up front. The
+		// cap also keeps an absurd caller-supplied count (the job service
+		// passes Params.Workers straight from the wire) from allocating
+		// clones without bound.
+		workers = maxBatch
+	}
+	start := time.Now()
 
-	// Interrupt the simplex between pivots, not just between nodes: a
-	// single node relaxation of a big formulation can run for a long time,
-	// and cancellation should not wait it out. The derived context also
-	// folds the wall-clock limit into the same stop channel.
+	// Fold the wall-clock limit and the caller's context into one stop
+	// channel that interrupts the per-worker simplex runs between pivots,
+	// not just between nodes: a single node relaxation of a big formulation
+	// can run for a long time, and cancellation should not wait it out.
 	lpCtx := ctx
-	if !deadline.IsZero() {
+	if opt.TimeLimit > 0 {
 		var cancel context.CancelFunc
-		lpCtx, cancel = context.WithDeadline(ctx, deadline)
+		lpCtx, cancel = context.WithTimeout(ctx, opt.TimeLimit)
 		defer cancel()
 	}
-	prevStop := p.LP.Stop
-	p.LP.Stop = lpCtx.Done()
-	defer func() { p.LP.Stop = prevStop }()
+	done := lpCtx.Done()
+
+	e := newEngine(p, opt, workers, done)
 
 	sign := 1.0
 	if !opt.Maximize {
 		sign = -1
 	}
-
-	// Save original bounds so we can restore them.
-	n := p.LP.NumVars()
-	origLo := make([]float64, n)
-	origHi := make([]float64, n)
-	for j := 0; j < n; j++ {
-		origLo[j], origHi[j] = boundsOf(p.LP, j)
-	}
-	defer func() {
-		for j := 0; j < n; j++ {
-			p.LP.SetBounds(j, origLo[j], origHi[j])
-		}
-	}()
-
-	solveNode := func(nd *node) (*lp.Result, error) {
-		for j := 0; j < n; j++ {
-			p.LP.SetBounds(j, origLo[j], origHi[j])
-		}
-		for _, bc := range nd.bounds {
-			p.LP.SetBounds(bc.v, bc.lo, bc.hi)
-		}
-		return lp.Solve(p.LP)
-	}
-
 	res := &Result{Status: Limit, Objective: sign * math.Inf(-1), BestBound: sign * math.Inf(1)}
-	var incumbent []float64
-	haveIncumbent := false
 
-	queue := &nodeQueue{}
-	heap.Init(queue)
-	heap.Push(queue, &node{bound: math.Inf(1)})
-
-	better := func(a, b float64) bool { // is a strictly better than b?
-		if opt.Maximize {
-			return a > b+1e-12
-		}
-		return a < b-1e-12
-	}
-
-	done := ctx.Done()
 	interrupted := false
-	dropped := false // nodes lost to the LP pivot budget or an interrupt
-	nodes := 0
-	for queue.Len() > 0 {
-		if opt.MaxNodes > 0 && nodes >= opt.MaxNodes {
-			break
-		}
-		select {
-		case <-done:
+	for e.queue.Len() > 0 && !e.rootUnbounded {
+		if stopped(done) {
 			interrupted = true
-		default:
-		}
-		if interrupted {
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			break
-		}
-		nd := heap.Pop(queue).(*node)
-		// Prune against incumbent using the parent bound.
-		if haveIncumbent && !math.IsInf(nd.bound, 1) {
-			parentObj := nd.bound
-			if opt.Maximize {
-				if parentObj <= res.Objective+opt.Gap*math.Abs(res.Objective)+1e-9 {
-					continue
-				}
-			} else {
-				if -parentObj >= res.Objective-opt.Gap*math.Abs(res.Objective)-1e-9 {
-					continue
-				}
+		limit := maxBatch
+		if opt.MaxNodes > 0 {
+			if remaining := opt.MaxNodes - e.nodes; remaining < limit {
+				limit = remaining
+			}
+			if limit <= 0 {
+				break
 			}
 		}
-		nodes++
-
-		lpRes, err := solveNode(nd)
-		if err != nil {
-			return nil, err
+		batch := e.nextBatch(limit)
+		if len(batch) == 0 {
+			break // the incumbent pruned the whole frontier
 		}
-		switch lpRes.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if nd.depth == 0 {
-				res.Status = Unbounded
-				res.Nodes = nodes
-				res.Elapsed = time.Since(start)
-				return res, nil
+		results, errs, skipped := e.evaluate(batch, done)
+		// Merge every slot in batch order even when interrupted mid-round:
+		// results already paid for must not be thrown away, and the order
+		// keeps the trace deterministic.
+		for i, nd := range batch {
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-			continue
-		case lp.IterationLimit:
-			dropped = true
-			continue
-		}
-
-		obj := lpRes.Objective
-		// Prune: the node cannot beat the incumbent.
-		if haveIncumbent && !better(obj, res.Objective) {
-			continue
-		}
-
-		// Find the most fractional integer variable.
-		branchVar := -1
-		bestFrac := intTol
-		for j := 0; j < n; j++ {
-			if !p.Integer[j] {
-				continue
-			}
-			f := lpRes.X[j] - math.Floor(lpRes.X[j])
-			dist := math.Min(f, 1-f)
-			if dist > bestFrac {
-				bestFrac = dist
-				branchVar = j
+			switch {
+			case skipped[i]:
+				// Pruned against an incumbent published mid-round: the
+				// strict bound comparison guarantees the merge would have
+				// discarded the evaluated result too.
+			case results[i] == nil:
+				// Not evaluated before the stop fired: still an open node.
+				heap.Push(&e.queue, nd)
+				interrupted = true
+			default:
+				e.merge(nd, results[i])
 			}
 		}
-
-		if branchVar < 0 {
-			// Integral solution.
-			xr := make([]float64, n)
-			for j := 0; j < n; j++ {
-				if p.Integer[j] {
-					xr[j] = math.Round(lpRes.X[j])
-				} else {
-					xr[j] = lpRes.X[j]
-				}
-			}
-			if !haveIncumbent || better(obj, res.Objective) {
-				res.Objective = obj
-				incumbent = xr
-				haveIncumbent = true
-			}
-			continue
-		}
-
-		// Branch.
-		xv := lpRes.X[branchVar]
-		lo, hi := origLo[branchVar], origHi[branchVar]
-		loNode := &node{bounds: appendBound(nd.bounds, boundChange{branchVar, lo, math.Floor(xv)}), bound: signAdjust(obj, opt.Maximize), depth: nd.depth + 1}
-		hiNode := &node{bounds: appendBound(nd.bounds, boundChange{branchVar, math.Ceil(xv), hi}), bound: signAdjust(obj, opt.Maximize), depth: nd.depth + 1}
-		heap.Push(queue, loNode)
-		heap.Push(queue, hiNode)
 	}
 
-	res.Nodes = nodes
+	res.Nodes = e.nodes
 	res.Elapsed = time.Since(start)
-	if haveIncumbent {
-		res.X = incumbent
-		if queue.Len() == 0 && !interrupted && !dropped && (opt.MaxNodes == 0 || nodes < opt.MaxNodes) &&
-			(deadline.IsZero() || time.Now().Before(deadline)) {
+	if e.rootUnbounded {
+		res.Status = Unbounded
+		return res, nil
+	}
+	if e.haveInc {
+		res.X = e.incumbent
+		res.Objective = e.incObj
+		if e.queue.Len() == 0 && !interrupted && !e.dropped &&
+			(opt.MaxNodes == 0 || e.nodes < opt.MaxNodes) {
 			res.Status = Optimal
 		} else {
 			// A dropped node (LP pivot budget or interrupt) may hide a
@@ -320,7 +228,7 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		}
 		res.BestBound = res.Objective
 		// Tighten the reported bound from the remaining open nodes.
-		for _, nd := range *queue {
+		for _, nd := range e.queue {
 			b := nd.bound
 			if !opt.Maximize {
 				b = -b
@@ -337,30 +245,8 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	// An emptied queue only proves infeasibility when the whole tree was
 	// genuinely explored: an interrupt or a node dropped at its LP pivot
 	// budget leaves the run inconclusive (Status stays Limit).
-	if queue.Len() == 0 && !interrupted && !dropped {
+	if e.queue.Len() == 0 && !interrupted && !e.dropped {
 		res.Status = Infeasible
 	}
 	return res, nil
-}
-
-// signAdjust stores bounds so the max-heap always pops the most promising
-// node first regardless of the optimization direction.
-func signAdjust(obj float64, maximize bool) float64 {
-	if maximize {
-		return obj
-	}
-	return -obj
-}
-
-func appendBound(bs []boundChange, bc boundChange) []boundChange {
-	out := make([]boundChange, len(bs)+1)
-	copy(out, bs)
-	out[len(bs)] = bc
-	return out
-}
-
-// boundsOf extracts the current bounds of variable j from an lp.Problem.
-// lp.Problem does not export its bounds, so the package keeps them here.
-func boundsOf(p *lp.Problem, j int) (float64, float64) {
-	return p.LowerBound(j), p.UpperBound(j)
 }

@@ -137,6 +137,26 @@ func NewProblem(n int) *Problem {
 	return p
 }
 
+// Clone returns an independent copy of the problem for concurrent solving:
+// objective, bounds and the constraint list are copied, so SetBounds and
+// Solve on the clone never touch the original (and vice versa). The Stop
+// channel is shared, which is exactly what a parallel branch-and-bound
+// search wants — one cancellation interrupts every per-worker simplex at
+// once. Constraint term slices are shared read-only; both sides may keep
+// appending constraints without affecting the other.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		numVars:  p.numVars,
+		maximize: p.maximize,
+		obj:      append([]float64(nil), p.obj...),
+		lower:    append([]float64(nil), p.lower...),
+		upper:    append([]float64(nil), p.upper...),
+		cons:     append([]constraint(nil), p.cons...),
+		MaxIters: p.MaxIters,
+		Stop:     p.Stop,
+	}
+}
+
 // NumVars returns the number of decision variables.
 func (p *Problem) NumVars() int { return p.numVars }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -312,5 +313,82 @@ func TestIterationLimit(t *testing.T) {
 	res := solveOK(t, p)
 	if res.Status != IterationLimit && res.Status != Optimal {
 		t.Errorf("status = %v, want iteration-limit or optimal", res.Status)
+	}
+}
+
+// Clone must produce a fully independent problem: changing the clone's
+// bounds or adding constraints to it leaves the original untouched, and
+// both solve to their own optima.
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{3, 2}, true)
+	p.AddDense([]float64{1, 1}, LE, 4)
+	p.SetBounds(0, 0, 3)
+
+	c := p.Clone()
+	c.SetBounds(0, 0, 1) // tighten only the clone
+	c.AddConstraint([]Term{{Var: 1, Coeff: 1}}, LE, 2)
+
+	orig := solveOK(t, p)
+	cl := solveOK(t, c)
+	if math.Abs(orig.Objective-11) > 1e-6 { // x = (3, 1)
+		t.Errorf("original objective %v, want 11", orig.Objective)
+	}
+	if math.Abs(cl.Objective-7) > 1e-6 { // x = (1, 2)
+		t.Errorf("clone objective %v, want 7", cl.Objective)
+	}
+	if p.UpperBound(0) != 3 || p.NumConstraints() != 1 {
+		t.Error("mutating the clone leaked into the original")
+	}
+}
+
+// Clones must be solvable concurrently with distinct per-clone bounds —
+// exactly how the parallel branch and bound uses them (run under -race).
+func TestClonesSolveConcurrently(t *testing.T) {
+	base := NewProblem(3)
+	base.SetObjective([]float64{2, 3, 4}, true)
+	base.AddDense([]float64{1, 1, 1}, LE, 2)
+	for j := 0; j < 3; j++ {
+		base.SetBounds(j, 0, 1)
+	}
+	var wg sync.WaitGroup
+	objs := make([]float64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := base.Clone()
+			c.SetBounds(w%3, 0, 0) // a different restriction per goroutine
+			res, err := Solve(c)
+			if err != nil || res.Status != Optimal {
+				return
+			}
+			objs[w] = res.Objective
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		want := []float64{7, 6, 5}[w%3]
+		if math.Abs(objs[w]-want) > 1e-6 {
+			t.Errorf("goroutine %d objective %v, want %v", w, objs[w], want)
+		}
+	}
+}
+
+// A Stop channel closed before cloning is shared: every clone gives up with
+// IterationLimit, which is how one cancellation interrupts all workers.
+func TestCloneSharesStopChannel(t *testing.T) {
+	stop := make(chan struct{})
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddDense([]float64{1, 1}, LE, 3)
+	p.SetBounds(0, 0, 2)
+	p.SetBounds(1, 0, 2)
+	p.Stop = stop
+	c := p.Clone()
+	close(stop)
+	res := solveOK(t, c)
+	if res.Status != IterationLimit {
+		t.Errorf("clone ignored the shared Stop channel: status %v", res.Status)
 	}
 }

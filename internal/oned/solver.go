@@ -544,9 +544,13 @@ func (s *solver) fastConvergence() {
 	for _, terms := range charTerms {
 		prob.AddConstraint(terms, lp.LE, 1)
 	}
+	// The ILP engine keeps its result worker-count independent, so handing
+	// it the planner's worker budget preserves the deterministic-plan
+	// contract while the fast-convergence step stops being single-threaded.
 	res, err := ilp.Solve(s.ctx, ilp.NewBinaryProblem(prob, binaries), ilp.Options{
 		Maximize:  true,
 		TimeLimit: s.opt.ILPTimeLimit,
+		Workers:   s.opt.workerCount(),
 	})
 	if err != nil || res.X == nil {
 		return

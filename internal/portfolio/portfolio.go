@@ -112,19 +112,23 @@ func Solve(ctx context.Context, in *core.Instance, opt Options) (*Result, error)
 	// The heavy (annealing/LP) strategies race concurrently; handing each of
 	// them the full pool would oversubscribe the CPUs roughly heavy-fold and
 	// distort per-strategy timings, so the ones actually racing share it.
-	// The split does not affect results — inner solvers are worker-count
-	// independent.
+	// Only the worker-scalable heavies count for the split (registry
+	// metadata): a heavy entrant that cannot use more than one goroutine is
+	// handed exactly one, and the pool divides among the entrants that
+	// genuinely scale — the exact branch and bound included, now that its
+	// node evaluation is parallel. The split does not affect results —
+	// inner solvers are worker-count independent.
 	workers := opt.workerCount()
-	heavy := 0
+	scalable := 0
 	for _, e := range entries {
-		if e.Heavy {
-			heavy++
+		if e.Heavy && e.Scalable {
+			scalable++
 		}
 	}
-	if heavy < 1 {
-		heavy = 1
+	if scalable < 1 {
+		scalable = 1
 	}
-	inner := workers / heavy
+	inner := workers / scalable
 	if inner < 1 {
 		inner = 1
 	}
@@ -135,8 +139,12 @@ func Solve(ctx context.Context, in *core.Instance, opt Options) (*Result, error)
 	tasks := make([]func(), len(entries))
 	for i, e := range entries {
 		i, e := i, e
+		entrantWorkers := inner
+		if e.Heavy && !e.Scalable {
+			entrantWorkers = 1
+		}
 		p := solver.Params{
-			Workers:  inner,
+			Workers:  entrantWorkers,
 			Seed:     opt.Seed + e.SeedOffset,
 			Restarts: opt.Restarts,
 		}
@@ -223,7 +231,7 @@ func init() {
 	solver.Register(&solver.Entry{
 		Name: "portfolio",
 		Doc:  "races the registered strategies under one deadline; best feasible plan wins",
-		OneD: true, TwoD: true, Heavy: true,
+		OneD: true, TwoD: true, Heavy: true, Scalable: true,
 	}, func(ctx context.Context, in *core.Instance, p solver.Params) (*solver.Result, error) {
 		res, err := Solve(ctx, in, Options{
 			Workers:  p.Workers,

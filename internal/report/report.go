@@ -185,10 +185,11 @@ func Table5(ctx context.Context, cfg Config) ([]Row, error) {
 		row := Row{Case: name}
 
 		var exactRes *exact.Result
+		eopt := exact.Options{TimeLimit: cfg.ExactTimeLimit, Workers: cfg.Workers}
 		if in.Kind == core.OneD {
-			exactRes, err = exact.Solve1D(ctx, in, cfg.ExactTimeLimit)
+			exactRes, err = exact.Solve1D(ctx, in, eopt)
 		} else {
-			exactRes, err = exact.Solve2D(ctx, in, cfg.ExactTimeLimit)
+			exactRes, err = exact.Solve2D(ctx, in, eopt)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%s exact: %w", name, err)

@@ -46,8 +46,12 @@ func NewHandler(m *Manager) http.Handler {
 		status, err := m.Submit(spec)
 		if err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(err, ErrClosed) {
+			switch {
+			case errors.Is(err, ErrClosed):
 				code = http.StatusServiceUnavailable
+			case errors.Is(err, ErrQueueFull):
+				// Backpressure, not failure: the client should retry later.
+				code = http.StatusTooManyRequests
 			}
 			writeError(w, code, err)
 			return

@@ -256,3 +256,59 @@ func TestHTTPSolversList(t *testing.T) {
 		}
 	}
 }
+
+// A full pending queue must surface as 429 Too Many Requests on the wire.
+func TestHTTPQueueFull429(t *testing.T) {
+	m := New(Config{Workers: 1, MaxPending: 1})
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+
+	// Occupy the single worker with an exact solve that runs far longer
+	// than the test; only once it is running (and out of the pending queue)
+	// fill the one pending slot.
+	runningID := postJob(t, srv, `{"benchmark": "1T-5", "solver": "exact", "params": {"deadline": "5m"}}`)["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, job := getJSON(t, srv.URL+"/v1/jobs/"+runningID)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s returned %d", runningID, code)
+		}
+		if job["state"].(string) == string(StateRunning) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started running", runningID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fillID := postJob(t, srv, `{"benchmark": "1D-1", "solver": "greedy"}`)["id"].(string)
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark": "1D-1", "solver": "greedy"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue returned %d (%v), want 429", resp.StatusCode, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "full") {
+		t.Errorf("429 body does not explain the full queue: %v", out)
+	}
+
+	// Draining the queue re-opens the door.
+	reqDel, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+fillID, nil)
+	if delResp, err := http.DefaultClient.Do(reqDel); err != nil {
+		t.Fatal(err)
+	} else {
+		delResp.Body.Close()
+	}
+	postJob(t, srv, `{"benchmark": "1D-1", "solver": "greedy"}`)
+}

@@ -4,7 +4,10 @@
 // reports progress as a per-job event stream. It is the step from "one CLI
 // solve" to a server handling heavy traffic: submit returns immediately
 // with a job ID, status/result/cancel are keyed by that ID, and cmd/eblowd
-// exposes the whole thing over HTTP/JSON (see http.go).
+// exposes the whole thing over HTTP/JSON (see http.go). Two knobs keep a
+// long-running deployment bounded: Config.RecordTTL evicts finished job
+// records, and Config.MaxPending rejects submissions (ErrQueueFull → HTTP
+// 429) once too many jobs are waiting.
 //
 // The service schedules strategies through the unified solver API
 // (eblow.SolveWith), so every registered strategy — "eblow", the baselines,
@@ -49,6 +52,17 @@ type Config struct {
 	// worker per CPU). At most Workers jobs solve concurrently; the rest
 	// wait in FIFO order.
 	Workers int
+	// RecordTTL bounds how long terminal job records (and their event
+	// streams) stay readable after the job finished; expired records are
+	// evicted and subsequent lookups return ErrNotFound. 0 keeps every
+	// record forever — fine for tests and short-lived CLIs, a memory leak
+	// for a long-running server, so cmd/eblowd always sets a TTL.
+	RecordTTL time.Duration
+	// MaxPending bounds the number of jobs waiting in the queue (queued,
+	// not yet running). Submit returns ErrQueueFull once the bound is hit,
+	// which the HTTP layer maps to 429 Too Many Requests — backpressure
+	// instead of an unbounded queue under overload. 0 means no bound.
+	MaxPending int
 }
 
 // JobSpec describes one solve to enqueue.
@@ -119,35 +133,99 @@ type job struct {
 	changed chan struct{} // closed and replaced on every event append
 }
 
-// ErrNotFound is returned for an unknown job ID.
+// ErrNotFound is returned for an unknown (or TTL-evicted) job ID.
 var ErrNotFound = errors.New("service: no such job")
 
 // ErrClosed is returned when submitting to a closed manager.
 var ErrClosed = errors.New("service: manager is closed")
 
+// ErrQueueFull is returned by Submit when Config.MaxPending jobs are already
+// waiting; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("service: pending job queue is full")
+
 // Manager queues jobs and drains them through one shared worker pool.
 type Manager struct {
 	pool *par.Pool
+	cfg  Config
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	pending int // jobs in StateQueued
+	nextID  int
+	closed  bool
 }
 
-// New starts a manager with cfg.Workers pool workers.
+// New starts a manager with cfg.Workers pool workers. A positive
+// cfg.RecordTTL also starts a janitor goroutine that owns the periodic
+// eviction sweep; the request paths never pay for a full sweep — Status and
+// friends only check the TTL of the one record they touch, so an expired
+// record reads as gone the moment its TTL lapses even if the janitor has
+// not collected it yet.
 func New(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		pool:       par.NewPool(cfg.Workers),
+		cfg:        cfg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
 	}
+	if cfg.RecordTTL > 0 {
+		go m.janitor()
+	}
+	return m
+}
+
+// janitor periodically evicts expired terminal job records until Close.
+func (m *Manager) janitor() {
+	period := m.cfg.RecordTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-tick.C:
+			m.mu.Lock()
+			m.evictLocked(time.Now())
+			m.mu.Unlock()
+		}
+	}
+}
+
+// expiredLocked reports whether the record's TTL has lapsed. Running and
+// queued jobs never expire, no matter how old. Callers hold m.mu.
+func (m *Manager) expiredLocked(j *job, now time.Time) bool {
+	return m.cfg.RecordTTL > 0 && j.state.Terminal() && !j.finished.IsZero() &&
+		now.Sub(j.finished) > m.cfg.RecordTTL
+}
+
+// evictLocked drops terminal job records whose TTL expired. It is an O(all
+// records) sweep, so only the janitor and the already-O(n) List call it —
+// the per-job request paths use expiredLocked instead. Callers hold m.mu.
+func (m *Manager) evictLocked(now time.Time) {
+	if m.cfg.RecordTTL <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if m.expiredLocked(m.jobs[id], now) {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	for i := len(kept); i < len(m.order); i++ {
+		m.order[i] = "" // release the evicted tail for the GC
+	}
+	m.order = kept
 }
 
 // Workers returns the size of the shared worker pool.
@@ -175,6 +253,10 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		m.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
+	if m.cfg.MaxPending > 0 && m.pending >= m.cfg.MaxPending {
+		m.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, m.cfg.MaxPending)
+	}
 	m.nextID++
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &job{
@@ -188,6 +270,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	m.pending++
 	m.appendEventLocked(j, "queued for "+solverLabel(spec))
 	status := m.statusLocked(j)
 	// Enqueue while still holding mu: Close sets closed under the same
@@ -248,6 +331,7 @@ func (m *Manager) run(j *job) {
 		return
 	}
 	j.state = StateRunning
+	m.pending--
 	j.started = time.Now()
 	m.appendEventLocked(j, fmt.Sprintf("solving %s (%s, %d characters)", j.spec.Instance.Name, j.spec.Instance.Kind, j.spec.Instance.NumCharacters()))
 	ctx, spec := j.ctx, j.spec
@@ -298,7 +382,7 @@ func (m *Manager) Status(id string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || m.expiredLocked(j, time.Now()) {
 		return JobStatus{}, ErrNotFound
 	}
 	return m.statusLocked(j), nil
@@ -308,6 +392,7 @@ func (m *Manager) Status(id string) (JobStatus, error) {
 func (m *Manager) List() []JobStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.evictLocked(time.Now())
 	out := make([]JobStatus, 0, len(m.order))
 	for _, id := range m.order {
 		out = append(out, m.statusLocked(m.jobs[id]))
@@ -323,12 +408,13 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || m.expiredLocked(j, time.Now()) {
 		return JobStatus{}, ErrNotFound
 	}
 	switch j.state {
 	case StateQueued:
 		j.state = StateCanceled
+		m.pending--
 		j.err = context.Canceled
 		j.finished = time.Now()
 		j.cancel()
@@ -349,6 +435,9 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 func (m *Manager) Events(ctx context.Context, id string) (<-chan Event, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
+	if ok && m.expiredLocked(j, time.Now()) {
+		ok = false
+	}
 	m.mu.Unlock()
 	if !ok {
 		return nil, ErrNotFound

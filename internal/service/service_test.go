@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -282,5 +283,80 @@ func TestCloseRejectsNewJobs(t *testing.T) {
 	m.Close()
 	if _, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 20, 2, 13), Solver: "greedy"}); err != ErrClosed {
 		t.Errorf("submit after close: %v", err)
+	}
+}
+
+// Terminal job records must disappear once their TTL expires, while queued
+// and running jobs survive any TTL.
+func TestRecordTTLEviction(t *testing.T) {
+	m := New(Config{Workers: 1, RecordTTL: 50 * time.Millisecond})
+	defer m.Close()
+
+	s, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 1), Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, s.ID, 30*time.Second)
+
+	// The janitor (or the next API touch) must evict the record after the
+	// TTL; poll rather than sleep a fixed amount.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := m.Status(s.ID); errors.Is(err, ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job record never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(m.List()); got != 0 {
+		t.Fatalf("List still returns %d evicted jobs", got)
+	}
+
+	// A job that never finishes is never evicted, no matter the TTL.
+	slow, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 60, 3, 2), Solver: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, slow.ID, StateRunning, 30*time.Second)
+	time.Sleep(120 * time.Millisecond) // two TTLs
+	if _, err := m.Status(slow.ID); err != nil {
+		t.Fatalf("running job evicted by TTL: %v", err)
+	}
+	if _, err := m.Cancel(slow.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Once MaxPending jobs wait in the queue, Submit must reject with
+// ErrQueueFull; a freed slot accepts submissions again.
+func TestMaxPendingBound(t *testing.T) {
+	m := New(Config{Workers: 1, MaxPending: 1})
+	defer m.Close()
+
+	running, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 60, 3, 3), Solver: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning, 30*time.Second)
+
+	queued, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 4), Solver: "greedy"})
+	if err != nil {
+		t.Fatalf("first queued job rejected: %v", err)
+	}
+	if _, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 5), Solver: "greedy"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+
+	// Cancelling the queued job frees its slot immediately.
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 6), Solver: "greedy"}); err != nil {
+		t.Fatalf("slot not freed after cancelling a queued job: %v", err)
+	}
+	if _, err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
 	}
 }

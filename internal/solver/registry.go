@@ -22,6 +22,13 @@ type Entry struct {
 	// (annealing/LP planners); the portfolio splits its pool among the
 	// heavy entrants actually racing.
 	Heavy bool
+	// Scalable marks strategies whose throughput actually grows with
+	// Params.Workers (parallel rounding/annealing stages, the parallel
+	// branch and bound) while their result stays worker-count independent.
+	// The portfolio divides its pool among the scalable heavy entrants
+	// only: a heavy-but-serial strategy is handed a single worker, so the
+	// pool is never wasted on goroutines a strategy cannot use.
+	Scalable bool
 	// Racing marks strategies that take part in the default portfolio
 	// race. Exact ILP and the portfolio itself stay out.
 	Racing bool

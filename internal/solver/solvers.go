@@ -19,7 +19,7 @@ import (
 func init() {
 	Register(&Entry{
 		Name: "eblow", Doc: "the paper's E-BLOW planner (1D successive rounding / 2D clustering + annealing)",
-		OneD: true, TwoD: true, Heavy: true, Racing: true,
+		OneD: true, TwoD: true, Heavy: true, Racing: true, Scalable: true,
 	}, solveEBlow)
 	Register(&Entry{
 		Name: "row25", Doc: "deterministic row-structure 1D heuristic ([25] in the paper)",
@@ -43,7 +43,7 @@ func init() {
 	})
 	Register(&Entry{
 		Name: "sa24", Doc: "prior-work fixed-outline SA floorplanner for 2DOSP ([24] in the paper)",
-		TwoD: true, Heavy: true, Racing: true, SeedOffset: 2,
+		TwoD: true, Heavy: true, Racing: true, Scalable: true, SeedOffset: 2,
 	}, func(ctx context.Context, in *core.Instance, p Params) (*Result, error) {
 		sol, err := baseline.SA2D(ctx, in, baseline.SA2DOptions{
 			Seed:      p.Seed,
@@ -75,8 +75,8 @@ func init() {
 		return &Result{Solution: sol}, nil
 	})
 	Register(&Entry{
-		Name: "exact", Doc: "exact ILP formulations (3)/(7) by branch and bound (tiny instances only)",
-		OneD: true, TwoD: true, Heavy: true,
+		Name: "exact", Doc: "exact ILP formulations (3)/(7) by parallel branch and bound (tiny instances only)",
+		OneD: true, TwoD: true, Heavy: true, Scalable: true,
 	}, solveExact)
 }
 
@@ -98,16 +98,18 @@ func solveEBlow(ctx context.Context, in *core.Instance, p Params) (*Result, erro
 }
 
 // solveExact runs the exact branch-and-bound formulation; Params.Deadline is
-// the ILP time limit (0 leaves the search bounded only by the context).
+// the ILP time limit (0 leaves the search bounded only by the context) and
+// Params.Workers sizes the parallel node evaluation.
 func solveExact(ctx context.Context, in *core.Instance, p Params) (*Result, error) {
+	opt := exact.Options{TimeLimit: p.Deadline, Workers: p.Workers}
 	var (
 		res *exact.Result
 		err error
 	)
 	if in.Kind == core.OneD {
-		res, err = exact.Solve1D(ctx, in, p.Deadline)
+		res, err = exact.Solve1D(ctx, in, opt)
 	} else {
-		res, err = exact.Solve2D(ctx, in, p.Deadline)
+		res, err = exact.Solve2D(ctx, in, opt)
 	}
 	if err != nil {
 		return nil, err
