@@ -76,6 +76,12 @@ type Options1D = oned.Options
 // API.
 type Options2D = twod.Options
 
+// RowGroup pins a band of stencil rows to a set of wafer regions — the
+// stencil band of one MCC column cell. Set Options1D.RowGroups to make the
+// 1D planner treat the stencil as per-column-cell bands; the LP relaxation
+// then decomposes into independent blocks solved in parallel.
+type RowGroup = oned.RowGroup
+
 // Trace1D exposes the successive-rounding iteration trace (Figs. 5 and 6 of
 // the paper); Result.Trace carries it when Params.CollectTrace is set.
 type Trace1D = oned.Trace

@@ -25,11 +25,34 @@ import (
 // State is a mutable optimization state. Perturb applies a random move and
 // returns an undo function; Cost evaluates the current state; Snapshot and
 // Restore save and reinstate the best state found.
+//
+// The engine only ever uses the undo returned by the most recent Perturb and
+// uses it at most once (immediately, when the move is rejected), so states
+// may return a shared pre-allocated closure instead of allocating one per
+// move. Likewise the engine holds at most one live snapshot at a time —
+// every improvement's Snapshot replaces the previous one — so states may
+// rotate snapshots through two reusable buffers instead of allocating. Any
+// future engine change that keeps several snapshots alive at once breaks
+// that contract and must not be made silently.
 type State interface {
 	Cost() float64
 	Perturb(rng *rand.Rand) (undo func())
 	Snapshot() interface{}
 	Restore(snapshot interface{})
+}
+
+// DeltaState is an optional extension for states with incremental cost
+// evaluation. PerturbCost applies one random move and returns the cost of
+// the resulting state together with the undo, fusing Perturb and Cost into
+// one call: the state can evaluate the move as a delta while it still knows
+// exactly what changed, instead of re-deriving the cost from scratch.
+//
+// PerturbCost must consume exactly the same random draws as Perturb and
+// return exactly the value Cost would, so that a state implementing both
+// interfaces anneals along a bit-identical trajectory either way.
+type DeltaState interface {
+	State
+	PerturbCost(rng *rand.Rand) (cost float64, undo func())
 }
 
 // Options configures a run.
@@ -105,6 +128,11 @@ func Minimize(ctx context.Context, s State, opt Options) Result {
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
+	// Cost-delta aware acceptance: a DeltaState evaluates the move it just
+	// made incrementally inside PerturbCost; plain states pay a separate
+	// full Cost call per move.
+	ds, hasDelta := s.(DeltaState)
+
 	runSchedule := func(startTemp float64) {
 		temp := startTemp
 		for temp > opt.FinalTemp {
@@ -112,8 +140,14 @@ func Minimize(ctx context.Context, s State, opt Options) Result {
 				if stopped() {
 					return
 				}
-				undo := s.Perturb(rng)
-				next := s.Cost()
+				var next float64
+				var undo func()
+				if hasDelta {
+					next, undo = ds.PerturbCost(rng)
+				} else {
+					undo = s.Perturb(rng)
+					next = s.Cost()
+				}
 				res.Moves++
 				delta := next - cur
 				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {

@@ -1,0 +1,82 @@
+package anneal
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// vecState is a toy quadratic state: cost is the sum of squared deviations
+// of a permutation-free integer vector from zero; a move bumps one slot.
+type vecState struct {
+	v    []int
+	last int
+}
+
+func newVecState(n int, seed int64) *vecState {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]int, n)
+	for i := range v {
+		v[i] = rng.Intn(21) - 10
+	}
+	return &vecState{v: v}
+}
+
+func (s *vecState) Cost() float64 {
+	c := 0.0
+	for _, x := range s.v {
+		c += float64(x * x)
+	}
+	return c
+}
+
+func (s *vecState) Perturb(rng *rand.Rand) func() {
+	i := rng.Intn(len(s.v))
+	d := 1
+	if rng.Intn(2) == 0 {
+		d = -1
+	}
+	s.v[i] += d
+	s.last = i
+	return func() { s.v[i] -= d }
+}
+
+func (s *vecState) Snapshot() interface{} { return append([]int(nil), s.v...) }
+
+func (s *vecState) Restore(v interface{}) { copy(s.v, v.([]int)) }
+
+// deltaVecState layers the DeltaState fast path on top of vecState,
+// consuming the same random draws and returning the same costs.
+type deltaVecState struct {
+	vecState
+}
+
+func (s *deltaVecState) PerturbCost(rng *rand.Rand) (float64, func()) {
+	undo := s.Perturb(rng)
+	return s.Cost(), undo
+}
+
+// TestDeltaStateMatchesPlain runs the engine on the plain and the
+// delta-aware version of the same state with the same seed: the trajectories
+// must be bit-identical (same moves, acceptances, best cost and final
+// state), proving the fused PerturbCost path changes nothing but the number
+// of evaluation calls.
+func TestDeltaStateMatchesPlain(t *testing.T) {
+	opt := Options{Seed: 9, InitialTemp: 30, FinalTemp: 0.5, MovesPerTemp: 50}
+	plain := newVecState(40, 4)
+	delta := &deltaVecState{vecState: *newVecState(40, 4)}
+
+	resPlain := Minimize(context.Background(), plain, opt)
+	resDelta := Minimize(context.Background(), delta, opt)
+
+	if resPlain.BestCost != resDelta.BestCost ||
+		resPlain.Moves != resDelta.Moves ||
+		resPlain.Accepted != resDelta.Accepted {
+		t.Fatalf("trajectories diverged: plain %+v delta %+v", resPlain, resDelta)
+	}
+	for i := range plain.v {
+		if plain.v[i] != delta.v[i] {
+			t.Fatalf("final states differ at %d: %d vs %d", i, plain.v[i], delta.v[i])
+		}
+	}
+}

@@ -81,7 +81,13 @@ type Result struct {
 	Restarts int
 }
 
-// state is the annealing state: a sequence pair over the blocks.
+// state is the annealing state: a sequence pair over the blocks, evaluated
+// incrementally. The packing positions are cached in a pack2d.Incremental
+// (a swap replays only the stale Gamma- suffix of the two longest-path
+// passes), and the per-region writing times are running sums updated only
+// for blocks whose inside-outline status flipped. Cost therefore does
+// O(changed) work per move instead of re-packing the whole floorplan, while
+// returning bit-identical values to the full recompute (fullCost).
 type state struct {
 	sp     *seqpair.SeqPair
 	blocks []pack2d.Block
@@ -89,9 +95,67 @@ type state struct {
 	vsb    []int64
 	w, h   int
 	useSum bool
+
+	inc   *pack2d.Incremental
+	times []int64 // per-region writing times, consistent with inc's inside flags
+	sum   int64   // sum over times, maintained for the SumObjective flow
+	flips []int   // scratch for Reevaluate
+
+	// last records the most recent move so the shared undo closure can
+	// revert it without allocating per move.
+	last struct{ kind, i, j int }
+	undo func()
+
+	// snaps are two reusable snapshot buffers. The annealing engine holds at
+	// most one live snapshot at a time (each improvement replaces the
+	// previous one), so ping-ponging between two buffers never clobbers the
+	// snapshot the engine still references.
+	snaps   [2]*seqpair.SeqPair
+	snapIdx int
+}
+
+func newState(sp *seqpair.SeqPair, blocks []pack2d.Block, reds [][]int64, vsb []int64, w, h int, useSum bool) *state {
+	s := &state{
+		sp: sp, blocks: blocks, reds: reds, vsb: vsb, w: w, h: h, useSum: useSum,
+		inc:   pack2d.NewIncremental(sp, blocks, w, h),
+		times: append([]int64(nil), vsb...),
+	}
+	for _, t := range vsb {
+		s.sum += t
+	}
+	s.undo = s.revertLast
+	return s
 }
 
 func (s *state) Cost() float64 {
+	s.flips = s.inc.Reevaluate(s.flips[:0])
+	for _, i := range s.flips {
+		var d int64
+		if s.inc.Inside(i) {
+			for c, r := range s.reds[i] {
+				s.times[c] -= r
+				d += r
+			}
+			s.sum -= d
+		} else {
+			for c, r := range s.reds[i] {
+				s.times[c] += r
+				d += r
+			}
+			s.sum += d
+		}
+	}
+	if s.useSum {
+		return float64(s.sum)
+	}
+	return float64(core.MaxInt64(s.times))
+}
+
+// fullCost evaluates the state from scratch with the non-incremental packing
+// pipeline. It is the reference the incremental path must match exactly;
+// the equivalence tests and the moves/sec benchmark use it as the
+// full-repack baseline.
+func (s *state) fullCost() float64 {
 	pl := pack2d.PackApprox(s.sp, s.blocks)
 	inside := pack2d.InsideOutline(pl, s.blocks, s.w, s.h)
 	if s.useSum {
@@ -99,6 +163,23 @@ func (s *state) Cost() float64 {
 	}
 	return float64(writingTime(s.vsb, s.reds, inside))
 }
+
+func (s *state) applyMove(kind, i, j int) {
+	switch kind {
+	case 0:
+		s.inc.SwapPos(i, j)
+	case 1:
+		s.inc.SwapNeg(i, j)
+	default:
+		a, b := s.sp.Pos[i], s.sp.Pos[j]
+		s.inc.SwapBoth(a, b)
+	}
+	s.last.kind, s.last.i, s.last.j = kind, i, j
+}
+
+// revertLast reapplies the last move, which undoes it (every move kind is an
+// involution: re-swapping the same positions restores the sequence pair).
+func (s *state) revertLast() { s.applyMove(s.last.kind, s.last.i, s.last.j) }
 
 func (s *state) Perturb(rng *rand.Rand) func() {
 	n := s.sp.Len()
@@ -109,35 +190,57 @@ func (s *state) Perturb(rng *rand.Rand) func() {
 	for j == i {
 		j = rng.Intn(n)
 	}
-	switch rng.Intn(3) {
-	case 0:
-		s.sp.SwapPos(i, j)
-		return func() { s.sp.SwapPos(i, j) }
-	case 1:
-		s.sp.SwapNeg(i, j)
-		return func() { s.sp.SwapNeg(i, j) }
-	default:
-		a, b := s.sp.Pos[i], s.sp.Pos[j]
-		s.sp.SwapBoth(a, b)
-		return func() { s.sp.SwapBoth(a, b) }
-	}
+	s.applyMove(rng.Intn(3), i, j)
+	return s.undo
 }
 
-func (s *state) Snapshot() interface{} { return s.sp.Clone() }
+// PerturbCost fuses Perturb and Cost (anneal.DeltaState): the move is
+// evaluated incrementally right after it is applied. It consumes the same
+// random draws and returns the same cost as the two separate calls would.
+func (s *state) PerturbCost(rng *rand.Rand) (float64, func()) {
+	undo := s.Perturb(rng)
+	return s.Cost(), undo
+}
 
-func (s *state) Restore(v interface{}) { s.sp = v.(*seqpair.SeqPair).Clone() }
+func (s *state) Snapshot() interface{} {
+	buf := s.snaps[s.snapIdx]
+	if buf == nil {
+		buf = s.sp.Clone()
+		s.snaps[s.snapIdx] = buf
+	} else {
+		buf.CopyFrom(s.sp)
+	}
+	s.snapIdx = 1 - s.snapIdx
+	return buf
+}
+
+func (s *state) Restore(v interface{}) {
+	s.sp.CopyFrom(v.(*seqpair.SeqPair))
+	// The sequence pair changed wholesale: rebuild the index mirrors and
+	// replay the full packing on the next Cost. The running region times
+	// stay consistent because Reevaluate reports flips against the cached
+	// inside flags.
+	s.inc.Reset()
+}
 
 func regionTimes(vsb []int64, reds [][]int64, inside []bool) []int64 {
-	times := append([]int64(nil), vsb...)
+	return regionTimesInto(make([]int64, len(vsb)), vsb, reds, inside)
+}
+
+// regionTimesInto computes the per-region writing times into dst (len(vsb)),
+// so per-evaluation callers can reuse one scratch buffer instead of
+// allocating a fresh slice each time.
+func regionTimesInto(dst []int64, vsb []int64, reds [][]int64, inside []bool) []int64 {
+	copy(dst, vsb)
 	for i, in := range inside {
 		if !in {
 			continue
 		}
 		for c, r := range reds[i] {
-			times[c] -= r
+			dst[c] -= r
 		}
 	}
-	return times
+	return dst
 }
 
 func writingTime(vsb []int64, reds [][]int64, inside []bool) int64 {
@@ -199,8 +302,8 @@ func Pack(ctx context.Context, blocks []Block, vsb []int64, w, h int, opt Option
 	sort.Slice(order, func(a, b int) bool { return density(order[a]) > density(order[b]) })
 	shelf := shelfInitial(raw, order, w)
 
-	newState := func(sp *seqpair.SeqPair) *state {
-		return &state{sp: sp, blocks: raw, reds: reds, vsb: vsb, w: w, h: h, useSum: opt.SumObjective}
+	mkState := func(sp *seqpair.SeqPair) *state {
+		return newState(sp, raw, reds, vsb, w, h, opt.SumObjective)
 	}
 
 	budget := opt.MoveBudget
@@ -222,10 +325,11 @@ func Pack(ctx context.Context, blocks []Block, vsb []int64, w, h int, opt Option
 
 	// pick legalises a floorplan with the exact pairwise blank sharing and
 	// recomputes the selection from it.
+	timesScratch := make([]int64, len(vsb))
 	pick := func(sp *seqpair.SeqPair) ([]bool, *pack2d.Placement, int64) {
 		exact := pack2d.PackExact(sp, raw)
 		inside := pack2d.InsideOutline(exact, raw, w, h)
-		return inside, exact, writingTime(vsb, reds, inside)
+		return inside, exact, core.MaxInt64(regionTimesInto(timesScratch, vsb, reds, inside))
 	}
 
 	var inside []bool
@@ -244,11 +348,18 @@ func Pack(ctx context.Context, blocks []Block, vsb []int64, w, h int, opt Option
 		}
 		// Temperatures are scaled to typical per-move cost deltas (a small
 		// fraction of the total writing time), not to the absolute cost.
-		initialTemp := newState(shelf.Clone()).Cost() * 0.01
+		// The state built for the estimate is handed to restart 0 with its
+		// evaluation cache already warm, so seeding the temperature no
+		// longer costs a second full pack before the loop starts.
+		st0 := mkState(shelf.Clone())
+		initialTemp := st0.Cost() * 0.01
 		if initialTemp < 50 {
 			initialTemp = 50
 		}
 		runs := anneal.MultiStart(ctx, func(r int) anneal.State {
+			if r == 0 && !opt.RandomInitial {
+				return st0
+			}
 			sp := shelf.Clone()
 			if opt.RandomInitial || r > 0 {
 				// Later restarts diversify from seeded random sequence pairs;
@@ -256,7 +367,7 @@ func Pack(ctx context.Context, blocks []Block, vsb []int64, w, h int, opt Option
 				// the run set is reproducible.
 				sp = seqpair.Random(n, rand.New(rand.NewSource(opt.Seed+int64(r)*104729)))
 			}
-			return newState(sp)
+			return mkState(sp)
 		}, restarts, opt.Workers, anneal.Options{
 			Seed:         opt.Seed + 1,
 			InitialTemp:  initialTemp,

@@ -1,0 +1,324 @@
+package oned
+
+import (
+	"fmt"
+
+	"eblow/internal/knapsack"
+	"eblow/internal/lp"
+	"eblow/internal/par"
+)
+
+// This file implements the block decomposition of the LP relaxation of
+// formulation (4)/(5). When Options.RowGroups pins stencil row bands to
+// wafer regions (the per-column-cell stencils of an MCC system), the
+// capacity matrix of the relaxation is block-diagonal across disjoint row
+// groups. The planner detects the independent blocks with a union-find over
+// the character-row candidacy graph, solves every block as its own
+// sub-problem on the shared worker pool, and merges the fractional
+// assignment matrices in block index order, so the result is identical for
+// every worker count.
+//
+// The two backends treat candidacy inside a block differently. The simplex
+// backend creates variables only for allowed character-row pairs, so its
+// decomposed solve is identical to solving the whole restricted relaxation
+// as one monolithic LP. The structured backend generalises its existing
+// aggregate-capacity approximation to blocks: within a block it pools the
+// block rows' capacities and ignores which of them a bridging character may
+// actually use (exactly as it pools the whole stencil when there are no row
+// groups), trading that precision for O(n log n) speed; integral
+// assignments are still candidacy-checked by fits(). Use SimplexLP when
+// exact banding of bridge characters matters.
+//
+// Without row groups every character is a candidate for every row: the
+// detection returns a single block holding the whole problem and the solve
+// reduces to exactly the monolithic path (same variable order, same
+// constraint order, bit-for-bit the same result as before the
+// decomposition existed).
+
+// initRowGroups validates Options.RowGroups against the instance and builds
+// the candidacy tables: rowGroup[j] is the group owning row j (-1 = open
+// row, usable by everyone) and charGroups[i] is the bitmask of groups whose
+// regions character i repeats in. Groups with an empty region list are open:
+// their rows stay at -1.
+func (s *solver) initRowGroups() error {
+	groups := s.opt.RowGroups
+	if len(groups) == 0 {
+		return nil
+	}
+	if len(groups) > maxRowGroups {
+		return fmt.Errorf("oned: %d row groups exceed the maximum of %d", len(groups), maxRowGroups)
+	}
+	s.rowGroup = make([]int, s.m)
+	for j := range s.rowGroup {
+		s.rowGroup[j] = -1
+	}
+	for g, grp := range groups {
+		for _, r := range grp.Regions {
+			if r < 0 || r >= s.in.NumRegions {
+				return fmt.Errorf("oned: row group %d references region %d of %d", g, r, s.in.NumRegions)
+			}
+		}
+		if len(grp.Regions) == 0 {
+			continue // open rows
+		}
+		for _, j := range grp.Rows {
+			if j < 0 || j >= s.m {
+				return fmt.Errorf("oned: row group %d references row %d of %d", g, j, s.m)
+			}
+			if s.rowGroup[j] >= 0 {
+				return fmt.Errorf("oned: row %d belongs to row groups %d and %d", j, s.rowGroup[j], g)
+			}
+			s.rowGroup[j] = g
+		}
+	}
+	s.charGroups = make([]uint64, s.n)
+	for i, c := range s.in.Characters {
+		var mask uint64
+		for g, grp := range groups {
+			if len(grp.Regions) == 0 {
+				continue
+			}
+			for _, r := range grp.Regions {
+				if c.Repeats[r] > 0 {
+					mask |= 1 << uint(g)
+					break
+				}
+			}
+		}
+		s.charGroups[i] = mask
+	}
+	return nil
+}
+
+// allowed reports whether character i may be assigned to row j under the
+// row-group candidacy. Without row groups every pair is allowed.
+func (s *solver) allowed(i, j int) bool {
+	if s.rowGroup == nil {
+		return true
+	}
+	g := s.rowGroup[j]
+	return g < 0 || s.charGroups[i]&(1<<uint(g)) != 0
+}
+
+// relaxBlock is one independent sub-problem of the restricted relaxation:
+// characters (as indices into the iteration's unsolved slice) plus the rows
+// they are candidates for, both in ascending order.
+type relaxBlock struct {
+	chars []int
+	rows  []int
+}
+
+// relaxBlocks partitions the relaxation over the unsolved characters into
+// independent blocks with a union-find over the character-row candidacy
+// graph. Blocks are ordered by their smallest row index, so the merge order
+// is deterministic. Characters with no candidate row belong to no block
+// (their relaxation row stays zero); rows no unsolved character may use form
+// row-only components and are dropped the same way.
+func (s *solver) relaxBlocks(unsolved []int) []relaxBlock {
+	nu := len(unsolved)
+	if s.rowGroup == nil {
+		b := relaxBlock{chars: make([]int, nu), rows: make([]int, s.m)}
+		for k := range b.chars {
+			b.chars[k] = k
+		}
+		for j := range b.rows {
+			b.rows[j] = j
+		}
+		return []relaxBlock{b}
+	}
+
+	parent := make([]int, nu+s.m)
+	for v := range parent {
+		parent[v] = v
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	for k, i := range unsolved {
+		for j := 0; j < s.m; j++ {
+			if s.allowed(i, j) {
+				parent[find(k)] = find(nu + j)
+			}
+		}
+	}
+
+	index := make(map[int]int)
+	var blocks []relaxBlock
+	for j := 0; j < s.m; j++ {
+		root := find(nu + j)
+		bi, ok := index[root]
+		if !ok {
+			bi = len(blocks)
+			index[root] = bi
+			blocks = append(blocks, relaxBlock{})
+		}
+		blocks[bi].rows = append(blocks[bi].rows, j)
+	}
+	for k := range unsolved {
+		// A character with at least one candidate row shares its root with a
+		// row component; one with none is its own root and stays blockless.
+		if bi, ok := index[find(k)]; ok {
+			blocks[bi].chars = append(blocks[bi].chars, k)
+		}
+	}
+	// Drop row-only components: nothing to solve there.
+	kept := blocks[:0]
+	for _, b := range blocks {
+		if len(b.chars) > 0 {
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
+
+// solveRelaxationBlocks solves the (restricted) relaxation block by block on
+// the worker pool and merges the per-block fractional assignments into one
+// matrix indexed like `unsolved`. Every block writes only its own
+// characters' rows, so the merge is deterministic for any worker count.
+func (s *solver) solveRelaxationBlocks(unsolved []int, caps []float64, blocks []relaxBlock) ([][]float64, error) {
+	a := make([][]float64, len(unsolved))
+	for k := range a {
+		a[k] = make([]float64, s.m)
+	}
+	errs := make([]error, len(blocks))
+	par.For(s.opt.workerCount(), len(blocks), func(bi int) {
+		errs[bi] = s.solveRelaxBlock(blocks[bi], unsolved, caps, a)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// solveRelaxBlock solves one block with the configured backend and scatters
+// the result into the shared assignment matrix.
+func (s *solver) solveRelaxBlock(b relaxBlock, unsolved []int, caps []float64, a [][]float64) error {
+	switch s.opt.Backend {
+	case SimplexLP:
+		return s.solveRelaxBlockSimplex(b, unsolved, caps, a)
+	default:
+		items := make([]knapsack.Item, len(b.chars))
+		for bk, k := range b.chars {
+			i := unsolved[k]
+			items[bk] = knapsack.Item{Weight: float64(s.effW[i]), Profit: s.profits[i]}
+		}
+		subcaps := make([]float64, len(b.rows))
+		for bj, j := range b.rows {
+			subcaps[bj] = caps[j]
+		}
+		rel, err := knapsack.RelaxedAssignment(items, subcaps)
+		if err != nil {
+			return err
+		}
+		for bk, k := range b.chars {
+			for bj, j := range b.rows {
+				a[k][j] = rel.A[bk][bj]
+			}
+		}
+		return nil
+	}
+}
+
+// solveRelaxBlockSimplex builds the block's restricted LP (variables only
+// for allowed character-row pairs, in character-major order) and solves it
+// with the dense simplex. With a single full block and no row groups this
+// constructs exactly the monolithic LP the planner used before the
+// decomposition, variable for variable and constraint for constraint.
+func (s *solver) solveRelaxBlockSimplex(b relaxBlock, unsolved []int, caps []float64, a [][]float64) error {
+	type varRef struct{ k, j int }
+	var vars []varRef
+	for _, k := range b.chars {
+		i := unsolved[k]
+		for _, j := range b.rows {
+			if s.allowed(i, j) {
+				vars = append(vars, varRef{k, j})
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return nil
+	}
+	prob := lp.NewProblem(len(vars))
+	prob.Stop = s.ctx.Done()
+	obj := make([]float64, len(vars))
+	// One pass over the variables groups the constraint terms by row and by
+	// character; the constraints are then emitted in row order followed by
+	// character order, matching the pre-decomposition builder.
+	rowTerms := make(map[int][]lp.Term, len(b.rows))
+	charTerms := make(map[int][]lp.Term, len(b.chars))
+	for v, vr := range vars {
+		i := unsolved[vr.k]
+		obj[v] = s.profits[i]
+		prob.SetBounds(v, 0, 1)
+		rowTerms[vr.j] = append(rowTerms[vr.j], lp.Term{Var: v, Coeff: float64(s.effW[i])})
+		charTerms[vr.k] = append(charTerms[vr.k], lp.Term{Var: v, Coeff: 1})
+	}
+	prob.SetObjective(obj, true)
+	for _, j := range b.rows {
+		if terms := rowTerms[j]; len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, caps[j])
+		}
+	}
+	for _, k := range b.chars {
+		if terms := charTerms[k]; len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, 1)
+		}
+	}
+	res, err := lp.Solve(prob)
+	if err != nil {
+		return err
+	}
+	if res.Status != lp.Optimal {
+		return fmt.Errorf("oned: relaxation LP returned %v", res.Status)
+	}
+	for v, vr := range vars {
+		a[vr.k][vr.j] = res.X[v]
+	}
+	return nil
+}
+
+// solveRelaxationMonolithic solves the restricted relaxation as a single
+// problem, ignoring the block structure. It exists as the reference the
+// decomposed path is validated against (the equivalence suite asserts
+// bit-identical assignment matrices) and for the decomposition benchmark;
+// production always goes through the block split.
+func (s *solver) solveRelaxationMonolithic(unsolved []int, caps []float64) ([][]float64, error) {
+	all := relaxBlock{rows: make([]int, s.m)}
+	for j := range all.rows {
+		all.rows[j] = j
+	}
+	for k, i := range unsolved {
+		if s.candidacyCount(i) > 0 {
+			all.chars = append(all.chars, k)
+		}
+	}
+	a := make([][]float64, len(unsolved))
+	for k := range a {
+		a[k] = make([]float64, s.m)
+	}
+	if err := s.solveRelaxBlock(all, unsolved, caps, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// candidacyCount returns how many rows character i may use.
+func (s *solver) candidacyCount(i int) int {
+	if s.rowGroup == nil {
+		return s.m
+	}
+	c := 0
+	for j := 0; j < s.m; j++ {
+		if s.allowed(i, j) {
+			c++
+		}
+	}
+	return c
+}

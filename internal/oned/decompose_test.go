@@ -1,0 +1,293 @@
+package oned
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"eblow/internal/core"
+)
+
+// groupedInstance builds a 1D MCC instance whose characters each repeat in
+// one region (or bridge into the next region every bridgeEvery characters),
+// together with row groups that pin rowsPerGroup stencil rows to every
+// region — the per-column-cell stencil band layout that makes the
+// relaxation's capacity matrix block-diagonal.
+func groupedInstance(nChars, nGroups, rowsPerGroup, bridgeEvery int, seed int64) (*core.Instance, []RowGroup) {
+	rng := rand.New(rand.NewSource(seed))
+	in := &core.Instance{
+		Name: "grouped", Kind: core.OneD,
+		StencilWidth:  600,
+		StencilHeight: 40 * nGroups * rowsPerGroup,
+		NumRegions:    nGroups,
+		RowHeight:     40,
+	}
+	for i := 0; i < nChars; i++ {
+		c := core.Character{
+			ID:    i,
+			Width: 30 + rng.Intn(30), Height: 40,
+			BlankLeft: 3 + rng.Intn(8), BlankRight: 3 + rng.Intn(8),
+			VSBShots: 2 + rng.Intn(30),
+			Repeats:  make([]int64, nGroups),
+		}
+		g := i % nGroups
+		c.Repeats[g] = int64(1 + rng.Intn(20))
+		if bridgeEvery > 0 && i%bridgeEvery == 0 {
+			c.Repeats[(g+1)%nGroups] = int64(1 + rng.Intn(20))
+		}
+		in.Characters = append(in.Characters, c)
+	}
+	groups := make([]RowGroup, nGroups)
+	for g := range groups {
+		for r := 0; r < rowsPerGroup; r++ {
+			groups[g].Rows = append(groups[g].Rows, g*rowsPerGroup+r)
+		}
+		groups[g].Regions = []int{g}
+	}
+	return in, groups
+}
+
+// relaxSolver builds a solver mid-flight: row groups installed, profits
+// evaluated, and a few characters pre-assigned so the row capacities are
+// uneven the way they are in later rounding iterations.
+func relaxSolver(t testing.TB, in *core.Instance, groups []RowGroup, backend LPBackend, workers, preAssign int) (*solver, []int, []float64) {
+	t.Helper()
+	opt := Defaults()
+	opt.Backend = backend
+	opt.Workers = workers
+	opt.RowGroups = groups
+	s, err := newSolver(context.Background(), in, opt.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := 0
+	for i := 0; i < s.n && assigned < preAssign; i++ {
+		for j := 0; j < s.m; j++ {
+			if s.fits(i, j) {
+				s.assign(i, j)
+				assigned++
+				break
+			}
+		}
+	}
+	s.profits = s.currentProfits()
+	unsolved := s.unsolvedIDs()
+	caps := s.rowCapacities(unsolved)
+	return s, unsolved, caps
+}
+
+func sameMatrix(t *testing.T, label string, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d rows", label, len(a), len(b))
+	}
+	for k := range a {
+		for j := range a[k] {
+			if a[k][j] != b[k][j] {
+				t.Fatalf("%s: a[%d][%d] = %v vs %v (not bit-identical)", label, k, j, a[k][j], b[k][j])
+			}
+		}
+	}
+}
+
+// TestRelaxBlocksDetection checks the union-find block structure: disjoint
+// region populations split into one block per group, bridging characters
+// merge their two groups, and without row groups everything is one block.
+func TestRelaxBlocksDetection(t *testing.T) {
+	in, groups := groupedInstance(60, 4, 2, 0, 1)
+	s, unsolved, _ := relaxSolver(t, in, groups, StructuredLP, 1, 0)
+	blocks := s.relaxBlocks(unsolved)
+	if len(blocks) != 4 {
+		t.Fatalf("disjoint instance split into %d blocks, want 4", len(blocks))
+	}
+	for bi, b := range blocks {
+		if len(b.rows) != 2 || len(b.chars) != 15 {
+			t.Errorf("block %d has %d rows and %d chars, want 2 and 15", bi, len(b.rows), len(b.chars))
+		}
+		for _, k := range b.chars {
+			for _, j := range b.rows {
+				if !s.allowed(unsolved[k], j) {
+					t.Errorf("block %d pairs char %d with row %d it may not use", bi, unsolved[k], j)
+				}
+			}
+		}
+	}
+
+	// A character bridging every pair of adjacent groups chains all blocks
+	// together.
+	in2, groups2 := groupedInstance(60, 4, 2, 1, 2)
+	s2, unsolved2, _ := relaxSolver(t, in2, groups2, StructuredLP, 1, 0)
+	if blocks := s2.relaxBlocks(unsolved2); len(blocks) != 1 {
+		t.Fatalf("bridged instance split into %d blocks, want 1", len(blocks))
+	}
+
+	// No row groups: one block covering every character and row.
+	s3, unsolved3, _ := relaxSolver(t, in, nil, StructuredLP, 1, 0)
+	blocks3 := s3.relaxBlocks(unsolved3)
+	if len(blocks3) != 1 || len(blocks3[0].chars) != len(unsolved3) || len(blocks3[0].rows) != s3.m {
+		t.Fatalf("ungrouped instance should be one full block, got %+v", blocks3)
+	}
+}
+
+// TestBlockDecomposedMatchesMonolithicSimplex asserts the core equivalence
+// guarantee of the decomposition: solving the candidacy blocks independently
+// and merging in block order yields bit-for-bit the assignment matrix of the
+// monolithic restricted LP — on block-diagonal instances, on instances with
+// bridging characters, and on non-decomposable (ungrouped) instances, at
+// several worker counts and with uneven row fill.
+func TestBlockDecomposedMatchesMonolithicSimplex(t *testing.T) {
+	cases := []struct {
+		name        string
+		bridgeEvery int
+		grouped     bool
+		preAssign   int
+	}{
+		{name: "block-diagonal", grouped: true},
+		{name: "block-diagonal-filled", grouped: true, preAssign: 12},
+		{name: "bridged", grouped: true, bridgeEvery: 7},
+		{name: "ungrouped", grouped: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, groups := groupedInstance(48, 3, 2, tc.bridgeEvery, 7)
+			if !tc.grouped {
+				groups = nil
+			}
+			for _, workers := range []int{1, 4} {
+				s, unsolved, caps := relaxSolver(t, in, groups, SimplexLP, workers, tc.preAssign)
+				got, err := s.solveRelaxation(unsolved, caps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := s.solveRelaxationMonolithic(unsolved, caps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameMatrix(t, tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestBlockDecomposedDeterministicWorkers asserts the structured backend's
+// block solve is bit-identical for every worker count, at MCC scale (4000
+// characters, 10 column-cell bands).
+func TestBlockDecomposedDeterministicWorkers(t *testing.T) {
+	nChars := 4000
+	if testing.Short() {
+		nChars = 400
+	}
+	in, groups := groupedInstance(nChars, 10, 5, 11, 9)
+	s1, unsolved1, caps1 := relaxSolver(t, in, groups, StructuredLP, 1, 40)
+	a1, err := s1.solveRelaxation(unsolved1, caps1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, unsolved8, caps8 := relaxSolver(t, in, groups, StructuredLP, 8, 40)
+	a8, err := s8.solveRelaxation(unsolved8, caps8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unsolved1) != len(unsolved8) {
+		t.Fatal("solver setup diverged between worker counts")
+	}
+	sameMatrix(t, "workers 1 vs 8", a1, a8)
+}
+
+// TestSolveWithRowGroups runs the full planner with row groups: the plan
+// must be identical for every worker count, must only place characters on
+// rows their group allows, and must stay valid.
+func TestSolveWithRowGroups(t *testing.T) {
+	in, groups := groupedInstance(120, 4, 2, 13, 3)
+	for _, backend := range []LPBackend{StructuredLP, SimplexLP} {
+		opt := Defaults()
+		opt.Backend = backend
+		opt.RowGroups = groups
+		opt.Workers = 1
+		ref, _, err := Solve(context.Background(), in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Validate(in); err != nil {
+			t.Fatalf("%v: invalid solution: %v", backend, err)
+		}
+		if ref.NumSelected() == 0 {
+			t.Fatalf("%v: empty plan", backend)
+		}
+
+		// Candidacy respected on every row.
+		rowGroupOf := make([]int, in.NumRows())
+		for j := range rowGroupOf {
+			rowGroupOf[j] = -1
+		}
+		for g, grp := range groups {
+			for _, j := range grp.Rows {
+				rowGroupOf[j] = g
+			}
+		}
+		for _, row := range ref.Rows {
+			j := row.Y / in.RowHeight
+			g := rowGroupOf[j]
+			if g < 0 {
+				continue
+			}
+			for _, c := range row.Chars {
+				ok := false
+				for _, r := range groups[g].Regions {
+					if in.Characters[c].Repeats[r] > 0 {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("%v: character %d placed on row %d outside its groups", backend, c, j)
+				}
+			}
+		}
+
+		opt.Workers = 8
+		par, _, err := Solve(context.Background(), in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.WritingTime != ref.WritingTime || par.NumSelected() != ref.NumSelected() {
+			t.Errorf("%v: workers changed the plan: T=%d/%d selected=%d/%d",
+				backend, ref.WritingTime, par.WritingTime, ref.NumSelected(), par.NumSelected())
+		}
+	}
+}
+
+// TestRowGroupValidation exercises the option validation.
+func TestRowGroupValidation(t *testing.T) {
+	in, groups := groupedInstance(20, 2, 2, 0, 5)
+	bad := []struct {
+		name   string
+		mutate func([]RowGroup) []RowGroup
+	}{
+		{"row out of range", func(g []RowGroup) []RowGroup {
+			g[0].Rows = append(g[0].Rows, 99)
+			return g
+		}},
+		{"region out of range", func(g []RowGroup) []RowGroup {
+			g[0].Regions = []int{7}
+			return g
+		}},
+		{"row in two groups", func(g []RowGroup) []RowGroup {
+			g[1].Rows = append(g[1].Rows, g[0].Rows[0])
+			return g
+		}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			gs := make([]RowGroup, len(groups))
+			for i, g := range groups {
+				gs[i] = RowGroup{Rows: append([]int(nil), g.Rows...), Regions: append([]int(nil), g.Regions...)}
+			}
+			opt := Defaults()
+			opt.RowGroups = tc.mutate(gs)
+			if _, _, err := Solve(context.Background(), in, opt); err == nil {
+				t.Fatal("expected a validation error")
+			}
+		})
+	}
+}

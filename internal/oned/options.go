@@ -86,10 +86,23 @@ type Options struct {
 	StaticProfit bool
 
 	// Workers bounds the number of goroutines used for the parallel stages
-	// (per-row DP refinement, per-region time/profit evaluation). 0 means
-	// one worker per CPU; 1 forces the fully sequential flow. The planner
+	// (per-row DP refinement, per-region time/profit evaluation, and the
+	// block-decomposed LP relaxation when RowGroups are set). 0 means one
+	// worker per CPU; 1 forces the fully sequential flow. The planner
 	// returns the same solution for every worker count.
 	Workers int
+
+	// RowGroups optionally pins bands of stencil rows to wafer regions, the
+	// way each column cell of an MCC system owns its own stencil band: a
+	// character is a candidate for a group's rows only if it repeats in at
+	// least one of the group's regions. The capacity matrix of the LP
+	// relaxation then becomes block-diagonal across disjoint row groups, and
+	// the planner detects the blocks (union-find over character-row
+	// candidacy) and solves them as independent sub-problems on the worker
+	// pool, merged in block index order. Nil keeps the shared-stencil
+	// semantics of the paper: every character may use every row and the
+	// relaxation is one monolithic problem.
+	RowGroups []RowGroup
 
 	// Backend selects the LP relaxation solver.
 	Backend LPBackend
@@ -97,6 +110,20 @@ type Options struct {
 	// CollectTrace records per-iteration statistics (Figs. 5 and 6).
 	CollectTrace bool
 }
+
+// RowGroup pins a band of stencil rows to a set of wafer regions (the
+// stencil band of one MCC column cell).
+type RowGroup struct {
+	// Rows lists the stencil row indices of the group.
+	Rows []int
+	// Regions lists the wafer regions whose characters may use the group's
+	// rows. An empty list leaves the group's rows open to every character.
+	Regions []int
+}
+
+// maxRowGroups bounds the number of row groups so per-character candidacy
+// fits in one uint64 bitmask.
+const maxRowGroups = 64
 
 // Defaults returns the paper's parameter settings with E-BLOW-1 behaviour
 // (fast ILP convergence and post stages enabled).
@@ -182,6 +209,10 @@ type Trace struct {
 	// FastILPVariables is the number of binary variables handed to the ILP
 	// in the fast-convergence step (0 when the step did not run).
 	FastILPVariables int
+	// RelaxElapsed is the total wall-clock time spent solving LP relaxations
+	// across all successive-rounding iterations (always recorded; the perf
+	// harness tracks it in the BENCH trajectory).
+	RelaxElapsed time.Duration
 	// UsedFastConvergence reports whether Algorithm 2 ran.
 	UsedFastConvergence bool
 }

@@ -96,6 +96,9 @@ func (s *solver) postSwapOnce() bool {
 		}
 
 		for j := range s.rows {
+			if !s.allowed(u, j) {
+				continue
+			}
 			row := &s.rows[j]
 			for k, v := range row.order {
 				// One-for-one: replace v by u.
@@ -200,6 +203,9 @@ func (s *solver) postInsertOnce() int {
 	var edges []matching.Edge
 	for ci, u := range candidates {
 		for rj, rs := range rows {
+			if !s.allowed(u, rs.row) {
+				continue
+			}
 			gap, delta := s.bestInsertion(u, s.rows[rs.row].order)
 			if delta <= rs.slack {
 				best[[2]int{ci, rj}] = insertion{gap: gap, delta: delta}
@@ -245,6 +251,9 @@ func (s *solver) appendRemaining() {
 	for _, u := range candidates {
 		cu := s.in.Characters[u]
 		for j := range s.rows {
+			if !s.allowed(u, j) {
+				continue
+			}
 			row := &s.rows[j]
 			var newWidth int
 			if len(row.order) == 0 {

@@ -32,6 +32,12 @@ type solver struct {
 
 	rows []rowState
 
+	// rowGroup[j] is the row group owning row j (-1 = open row); nil when
+	// Options.RowGroups is unset. charGroups[i] is the bitmask of groups
+	// whose regions character i repeats in.
+	rowGroup   []int
+	charGroups []uint64
+
 	// lastRelax maps character id -> per-row fractions from the most recent
 	// LP relaxation (used by fast convergence and the Fig. 6 trace).
 	lastRelax map[int][]float64
@@ -67,32 +73,9 @@ func Solve(ctx context.Context, in *core.Instance, opt Options) (*core.Solution,
 	}
 	opt = opt.withDefaults()
 
-	s := &solver{
-		ctx: ctx,
-		in:  in,
-		opt: opt,
-		n:   in.NumCharacters(),
-		m:   in.NumRows(),
-		w:   in.StencilWidth,
-	}
-	if s.m == 0 {
-		return nil, nil, fmt.Errorf("oned: stencil of %q has no rows", in.Name)
-	}
-	s.width = make([]int, s.n)
-	s.sblank = make([]int, s.n)
-	s.effW = make([]int, s.n)
-	s.assigned = make([]int, s.n)
-	s.solved = make([]bool, s.n)
-	s.rows = make([]rowState, s.m)
-	for i, c := range in.Characters {
-		s.width[i] = c.Width
-		s.sblank[i] = c.SymmetricHBlank()
-		s.effW[i] = c.Width - s.sblank[i]
-		s.assigned[i] = -1
-		if c.Width > s.w {
-			// Can never fit on a row; treat as solved (never selected).
-			s.solved[i] = true
-		}
+	s, err := newSolver(ctx, in, opt)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	s.successiveRounding()
@@ -127,6 +110,42 @@ func Solve(ctx context.Context, in *core.Instance, opt Options) (*core.Solution,
 	}
 	sol.Finalize(in, name, time.Since(start))
 	return sol, &s.trace, nil
+}
+
+// newSolver builds the working state for one run; opt must already have its
+// defaults filled in.
+func newSolver(ctx context.Context, in *core.Instance, opt Options) (*solver, error) {
+	s := &solver{
+		ctx: ctx,
+		in:  in,
+		opt: opt,
+		n:   in.NumCharacters(),
+		m:   in.NumRows(),
+		w:   in.StencilWidth,
+	}
+	if s.m == 0 {
+		return nil, fmt.Errorf("oned: stencil of %q has no rows", in.Name)
+	}
+	if err := s.initRowGroups(); err != nil {
+		return nil, err
+	}
+	s.width = make([]int, s.n)
+	s.sblank = make([]int, s.n)
+	s.effW = make([]int, s.n)
+	s.assigned = make([]int, s.n)
+	s.solved = make([]bool, s.n)
+	s.rows = make([]rowState, s.m)
+	for i, c := range in.Characters {
+		s.width[i] = c.Width
+		s.sblank[i] = c.SymmetricHBlank()
+		s.effW[i] = c.Width - s.sblank[i]
+		s.assigned[i] = -1
+		if c.Width > s.w {
+			// Can never fit on a row; treat as solved (never selected).
+			s.solved[i] = true
+		}
+	}
+	return s, nil
 }
 
 // selection returns the current selection vector (characters assigned to a
@@ -183,8 +202,12 @@ func (s *solver) currentProfits() []float64 {
 }
 
 // fits reports whether character i can be added to row j under the
-// symmetric-blank capacity model (Lemma 1 of the paper).
+// symmetric-blank capacity model (Lemma 1 of the paper) and the row-group
+// candidacy.
 func (s *solver) fits(i, j int) bool {
+	if !s.allowed(i, j) {
+		return false
+	}
 	r := &s.rows[j]
 	maxBlank := r.maxBlank
 	if s.sblank[i] > maxBlank {
@@ -267,68 +290,15 @@ func (s *solver) rowCapacities(unsolved []int) []float64 {
 
 // solveRelaxation solves the LP relaxation of the simplified formulation for
 // the unsolved characters and returns the fractional assignment matrix
-// indexed like `unsolved`.
+// indexed like `unsolved`. The relaxation is split into its independent
+// candidacy blocks (one block covering everything when no row groups are
+// configured) and the blocks are solved concurrently on the worker pool;
+// the relaxation wall-clock is accumulated into the trace.
 func (s *solver) solveRelaxation(unsolved []int, caps []float64) ([][]float64, error) {
-	switch s.opt.Backend {
-	case SimplexLP:
-		return s.solveRelaxationSimplex(unsolved, caps)
-	default:
-		items := make([]knapsack.Item, len(unsolved))
-		for k, i := range unsolved {
-			items[k] = knapsack.Item{Weight: float64(s.effW[i]), Profit: s.profits[i]}
-		}
-		rel, err := knapsack.RelaxedAssignment(items, caps)
-		if err != nil {
-			return nil, err
-		}
-		return rel.A, nil
-	}
-}
-
-// solveRelaxationSimplex builds the dense LP over a_ij variables and solves
-// it with the general simplex. Only sensible for small instances; it exists
-// to validate the structured backend and for the LP-backend ablation.
-func (s *solver) solveRelaxationSimplex(unsolved []int, caps []float64) ([][]float64, error) {
-	nu := len(unsolved)
-	prob := lp.NewProblem(nu * s.m)
-	obj := make([]float64, nu*s.m)
-	for k, i := range unsolved {
-		for j := 0; j < s.m; j++ {
-			v := k*s.m + j
-			obj[v] = s.profits[i]
-			prob.SetBounds(v, 0, 1)
-		}
-	}
-	prob.SetObjective(obj, true)
-	for j := 0; j < s.m; j++ {
-		terms := make([]lp.Term, 0, nu)
-		for k, i := range unsolved {
-			terms = append(terms, lp.Term{Var: k*s.m + j, Coeff: float64(s.effW[i])})
-		}
-		prob.AddConstraint(terms, lp.LE, caps[j])
-	}
-	for k := range unsolved {
-		terms := make([]lp.Term, 0, s.m)
-		for j := 0; j < s.m; j++ {
-			terms = append(terms, lp.Term{Var: k*s.m + j, Coeff: 1})
-		}
-		prob.AddConstraint(terms, lp.LE, 1)
-	}
-	res, err := lp.Solve(prob)
-	if err != nil {
-		return nil, err
-	}
-	if res.Status != lp.Optimal {
-		return nil, fmt.Errorf("oned: relaxation LP returned %v", res.Status)
-	}
-	a := make([][]float64, nu)
-	for k := range a {
-		a[k] = make([]float64, s.m)
-		for j := 0; j < s.m; j++ {
-			a[k][j] = res.X[k*s.m+j]
-		}
-	}
-	return a, nil
+	start := time.Now()
+	a, err := s.solveRelaxationBlocks(unsolved, caps, s.relaxBlocks(unsolved))
+	s.trace.RelaxElapsed += time.Since(start)
+	return a, err
 }
 
 // successiveRounding is Algorithm 1 of the paper: solve the relaxation,

@@ -1,0 +1,125 @@
+package pack2d
+
+import (
+	"math/rand"
+	"testing"
+
+	"eblow/internal/seqpair"
+)
+
+func randomBlocks(rng *rand.Rand, n int) []Block {
+	blocks := make([]Block, n)
+	for i := range blocks {
+		w := 10 + rng.Intn(40)
+		h := 10 + rng.Intn(40)
+		blocks[i] = Block{
+			W: w, H: h,
+			BlankL: rng.Intn(w/2 + 1), BlankR: rng.Intn(w/2 + 1),
+			BlankT: rng.Intn(h/2 + 1), BlankB: rng.Intn(h/2 + 1),
+		}
+	}
+	return blocks
+}
+
+// checkAgainstFull compares the incremental caches with a from-scratch
+// PackApprox + InsideOutline evaluation of the same sequence pair.
+func checkAgainstFull(t *testing.T, inc *Incremental, sp *seqpair.SeqPair, blocks []Block, outW, outH int) {
+	t.Helper()
+	pl := PackApprox(sp, blocks)
+	inside := InsideOutline(pl, blocks, outW, outH)
+	for b := range blocks {
+		if inc.X(b) != pl.X[b] || inc.Y(b) != pl.Y[b] {
+			t.Fatalf("block %d position (%d,%d), full repack has (%d,%d)",
+				b, inc.X(b), inc.Y(b), pl.X[b], pl.Y[b])
+		}
+		if inc.Inside(b) != inside[b] {
+			t.Fatalf("block %d inside=%v, full repack has %v", b, inc.Inside(b), inside[b])
+		}
+	}
+}
+
+// TestIncrementalMatchesFullRepack drives the evaluator through random swap
+// sequences (interleaved with undos and wholesale resets) and asserts that
+// every reevaluation is bit-identical to a full repack.
+func TestIncrementalMatchesFullRepack(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 40} {
+		rng := rand.New(rand.NewSource(int64(100 + n)))
+		blocks := randomBlocks(rng, n)
+		outW, outH := 120, 120
+		sp := seqpair.Random(n, rng)
+		inc := NewIncremental(sp, blocks, outW, outH)
+		inc.Reevaluate(nil)
+		checkAgainstFull(t, inc, sp, blocks, outW, outH)
+
+		for move := 0; move < 300; move++ {
+			if n >= 2 {
+				i, j := rng.Intn(n), rng.Intn(n)
+				for j == i {
+					j = rng.Intn(n)
+				}
+				kind := rng.Intn(3)
+				apply := func() {
+					switch kind {
+					case 0:
+						inc.SwapPos(i, j)
+					case 1:
+						inc.SwapNeg(i, j)
+					default:
+						inc.SwapBoth(sp.Pos[i], sp.Pos[j])
+					}
+				}
+				apply()
+				if rng.Intn(3) == 0 {
+					// Rejected move: undo before reevaluating (the cache is
+					// still dirty from the aborted move).
+					apply()
+				}
+			}
+			if rng.Intn(5) == 0 {
+				// Sometimes re-evaluate mid-sequence so the dirty window
+				// spans a mix of evaluated and pending moves.
+				inc.Reevaluate(nil)
+			}
+			inc.Reevaluate(nil)
+			checkAgainstFull(t, inc, sp, blocks, outW, outH)
+			if err := sp.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Wholesale replacement (the Restore path).
+		repl := seqpair.Random(n, rng)
+		sp.CopyFrom(repl)
+		inc.Reset()
+		inc.Reevaluate(nil)
+		checkAgainstFull(t, inc, sp, blocks, outW, outH)
+	}
+}
+
+// TestIncrementalFlips checks that Reevaluate reports exactly the blocks
+// whose inside status changed.
+func TestIncrementalFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 30
+	blocks := randomBlocks(rng, n)
+	sp := seqpair.Random(n, rng)
+	inc := NewIncremental(sp, blocks, 100, 100)
+
+	prev := make([]bool, n)
+	for move := 0; move < 200; move++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		for j == i {
+			j = rng.Intn(n)
+		}
+		inc.SwapNeg(i, j)
+		flips := inc.Reevaluate(nil)
+		for _, b := range flips {
+			prev[b] = !prev[b]
+		}
+		for b := 0; b < n; b++ {
+			if prev[b] != inc.Inside(b) {
+				t.Fatalf("move %d: flips out of sync at block %d", move, b)
+			}
+		}
+	}
+}

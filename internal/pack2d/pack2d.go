@@ -36,18 +36,27 @@ type Placement struct {
 func PackApprox(sp *seqpair.SeqPair, blocks []Block) *Placement {
 	shrunk := make([]seqpair.Block, len(blocks))
 	for i, b := range blocks {
-		w := b.W - (b.BlankL+b.BlankR)/2
-		h := b.H - (b.BlankT+b.BlankB)/2
-		if w < 1 {
-			w = 1
-		}
-		if h < 1 {
-			h = 1
-		}
+		w, h := shrunkDims(b)
 		shrunk[i] = seqpair.Block{W: w, H: h}
 	}
 	p := seqpair.Pack(sp, shrunk)
 	return &Placement{X: p.X, Y: p.Y, Width: p.Width, Height: p.Height}
+}
+
+// shrunkDims returns a block's dimensions reduced by half its blank margins
+// (clamped to 1), the approximation PackApprox packs with. The incremental
+// evaluator shares this helper because its bit-identical-to-PackApprox
+// guarantee depends on the two never diverging.
+func shrunkDims(b Block) (int, int) {
+	w := b.W - (b.BlankL+b.BlankR)/2
+	h := b.H - (b.BlankT+b.BlankB)/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return w, h
 }
 
 // PackExact computes the minimal legal positions realising the sequence pair

@@ -49,6 +49,17 @@ func (sp *SeqPair) Clone() *SeqPair {
 	}
 }
 
+// CopyFrom copies the permutations of src into sp without allocating; the
+// two sequence pairs must have the same length. It is the allocation-free
+// counterpart of Clone for callers that reuse snapshot buffers.
+func (sp *SeqPair) CopyFrom(src *SeqPair) {
+	if len(sp.Pos) != len(src.Pos) {
+		panic("seqpair: CopyFrom length mismatch")
+	}
+	copy(sp.Pos, src.Pos)
+	copy(sp.Neg, src.Neg)
+}
+
 // Len returns the number of blocks.
 func (sp *SeqPair) Len() int { return len(sp.Pos) }
 

@@ -18,7 +18,7 @@ import (
 // bit-for-bit: heuristic24 raced with Seed+1 and sa24 with Seed+2.
 func init() {
 	Register(&Entry{
-		Name: "eblow", Doc: "the paper's E-BLOW planner (1D successive rounding / 2D clustering + annealing)",
+		Name: "eblow", Doc: "the paper's E-BLOW planner (1D successive rounding with a block-decomposed parallel relaxation / 2D clustering + incremental-cost annealing)",
 		OneD: true, TwoD: true, Heavy: true, Racing: true, Scalable: true,
 	}, solveEBlow)
 	Register(&Entry{
