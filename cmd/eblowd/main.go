@@ -10,9 +10,15 @@
 // jobs are waiting new submissions are rejected with 429 Too Many Requests
 // instead of growing the queue without limit.
 //
-// API (JSON unless noted):
+// With -learn-path the server keeps one learned-scheduling store shared by
+// every job: portfolio races are reordered and pruned by the accumulated
+// per-shape win rates, every race outcome is recorded back, and the store
+// is persisted after each job. GET /v1/learn exposes the statistics.
+//
+// API (JSON unless noted; see docs/eblowd-api.md for the full reference):
 //
 //	GET    /v1/solvers            registered strategies
+//	GET    /v1/learn              learned-scheduling statistics snapshot
 //	POST   /v1/jobs               submit {"benchmark": "1M-2"} or {"instance": {...}}
 //	GET    /v1/jobs               list jobs
 //	GET    /v1/jobs/{id}          status + result summary
@@ -23,6 +29,7 @@
 // Examples:
 //
 //	eblowd -addr 127.0.0.1:8080 -workers 8
+//	eblowd -addr 127.0.0.1:8080 -learn-path eblow.learn.json
 //	curl -s localhost:8080/v1/jobs -d '{"benchmark": "1T-1", "params": {"seed": 1}}'
 //	curl -s localhost:8080/v1/jobs/j1
 //	curl -sN localhost:8080/v1/jobs/j1/events
@@ -42,6 +49,7 @@ import (
 	"runtime"
 	"time"
 
+	"eblow"
 	"eblow/internal/service"
 )
 
@@ -54,10 +62,20 @@ func main() {
 		workers    = flag.Int("workers", runtime.NumCPU(), "worker pool size shared by every submitted job")
 		recordTTL  = flag.Duration("record-ttl", time.Hour, "how long finished job records stay readable (0 keeps them forever)")
 		maxPending = flag.Int("max-pending", 1024, "max queued jobs before submissions are rejected with 429 (0 = unbounded)")
+		learnPath  = flag.String("learn-path", "", "JSON store for learned portfolio scheduling, shared across all jobs and persisted after each race (\"\" disables learning)")
 	)
 	flag.Parse()
 
-	m := service.New(service.Config{Workers: *workers, RecordTTL: *recordTTL, MaxPending: *maxPending})
+	var store *eblow.LearnStore
+	if *learnPath != "" {
+		var err error
+		if store, err = eblow.OpenLearn(*learnPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("learned scheduling on, store %s", *learnPath)
+	}
+
+	m := service.New(service.Config{Workers: *workers, RecordTTL: *recordTTL, MaxPending: *maxPending, Learn: store})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,7 @@
 //	ospbench -portfolio 2D-1 -timeout 20s
 //	ospbench -workers-sweep 1T-3 -sweep-workers 1,2,4,8 -exact-time 10s
 //	ospbench -perf small-1M -bench-json BENCH_small-1M.json
+//	ospbench -learn-replay 2T-1,2T-2,2T-3,2T-4 -learn-path stats.json
 package main
 
 import (
@@ -48,6 +49,9 @@ func main() {
 		workersSweep = flag.String("workers-sweep", "", "run the exact branch and bound on this benchmark case (e.g. 1T-3) at every -sweep-workers count and report the node-throughput scaling curve")
 		perf         = flag.String("perf", "", "measure the solver hot paths on this case (e.g. small-1M, 1M-5, small-2M): annealer moves/sec for 2D, solve + relaxation wall-clock at 1 and -workers workers for 1D")
 		benchJSON    = flag.String("bench-json", "", "write the -perf record as JSON to this file (the BENCH_*.json perf trajectory)")
+		learnReplay  = flag.String("learn-replay", "", "replay this comma-separated benchmark case list through recorded portfolio races to warm the -learn-path store, then print the learned race ordering vs the static one per case")
+		learnPath    = flag.String("learn-path", "", "JSON statistics store for -learn-replay (\"\" uses a throwaway in-memory store)")
+		learnRounds  = flag.Int("learn-rounds", 3, "how many recorded races to replay per case for -learn-replay")
 		sweepWorkers = flag.String("sweep-workers", "1,2,4,8", "comma-separated worker counts for -workers-sweep")
 		sweepJSON    = flag.Bool("json", false, "emit the -workers-sweep result as JSON (for BENCH tracking) instead of a table")
 		cases        = flag.String("cases", "", "comma-separated case list (default: the paper's cases)")
@@ -77,6 +81,8 @@ func main() {
 	}
 
 	switch {
+	case *learnReplay != "":
+		fail(replayLearn(ctx, *learnReplay, *learnPath, *learnRounds, *workers, *restarts, *seed, *timeout))
 	case *perf != "":
 		fail(runPerf(ctx, *perf, *workers, *seed, *benchJSON))
 	case *workersSweep != "":
@@ -137,25 +143,6 @@ type perfRecord struct {
 	RelaxUs         int64 `json:"relaxUs,omitempty"`
 	RelaxBlocksUs1W int64 `json:"relaxBlocksUs1Worker,omitempty"`
 	RelaxBlocksUs   int64 `json:"relaxBlocksUs,omitempty"`
-}
-
-// autoRowGroups derives one stencil row band per wafer region (rows dealt
-// round-robin), the layout that makes the relaxation block-diagonal. It
-// returns nil when the instance has too few rows or regions for banding.
-func autoRowGroups(in *core.Instance) []oned.RowGroup {
-	m, regions := in.NumRows(), in.NumRegions
-	if regions < 2 || m < regions {
-		return nil
-	}
-	groups := make([]oned.RowGroup, regions)
-	for g := range groups {
-		groups[g].Regions = []int{g}
-	}
-	for j := 0; j < m; j++ {
-		g := j % regions
-		groups[g].Rows = append(groups[g].Rows, j)
-	}
-	return groups
 }
 
 // perfInstance resolves a -perf case name: "small-<family>" maps to the
@@ -233,10 +220,10 @@ func runPerf(ctx context.Context, caseName string, workers int, seed int64, json
 		fmt.Printf("%s (%s): solve %s (relaxation %s) at 1 worker, %s (relaxation %s) at %d workers\n",
 			in.Name, in.Kind, wall1.Round(time.Microsecond), relax1.Round(time.Microsecond),
 			wallN.Round(time.Microsecond), relaxN.Round(time.Microsecond), workers)
-		// The shared-stencil default runs the relaxation as one block; an
-		// auto-derived band per region exercises the decomposed path so
-		// the trajectory can catch regressions there.
-		if groups := autoRowGroups(in); groups != nil {
+		// The shared-stencil default runs the relaxation as one block; the
+		// generator's per-column-cell banding exercises the decomposed path
+		// so the trajectory can catch regressions there.
+		if groups := gen.CellBands(in); groups != nil {
 			_, blocks1, err := solve(1, groups)
 			if err != nil {
 				return err
@@ -363,6 +350,76 @@ func sweepExactWorkers(ctx context.Context, caseName, workerList string, limit t
 		}
 	}
 	fmt.Printf("identical status/objective at every worker count\n")
+	return nil
+}
+
+// replayLearn warms a learned-scheduling store by replaying recorded
+// portfolio races over a benchmark case list, persists it, and prints the
+// learned race ordering next to the static registry one per case — showing
+// which heavy entrants the accumulated win rates reorder or prune on each
+// family.
+func replayLearn(ctx context.Context, caseList, path string, rounds, workers, restarts int, seed int64, timeout time.Duration) error {
+	var store *eblow.LearnStore
+	var err error
+	if path != "" {
+		if store, err = eblow.OpenLearn(path); err != nil {
+			return err
+		}
+	} else {
+		store = eblow.NewLearnStore()
+	}
+	names := strings.Split(caseList, ",")
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	fmt.Printf("replaying %d recorded race(s) per case over %v\n", rounds, names)
+	instances := make([]*core.Instance, len(names))
+	for i, name := range names {
+		if instances[i], err = eblow.Benchmark(strings.TrimSpace(name)); err != nil {
+			return err
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		for _, in := range instances {
+			res, err := eblow.SolveWith(ctx, in, eblow.Params{
+				Workers:    workers,
+				Restarts:   restarts,
+				Seed:       seed + int64(round),
+				Deadline:   timeout,
+				Strategies: []string{"portfolio"},
+				LearnStore: store,
+			})
+			if err != nil {
+				return fmt.Errorf("%s round %d: %w", in.Name, round+1, err)
+			}
+			fmt.Printf("  %-6s round %d: %-12s T=%-8d %s\n",
+				in.Name, round+1, res.Strategy, res.Objective, res.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if err := store.Save(); err != nil {
+		return err
+	}
+	if path != "" {
+		fmt.Printf("store persisted to %s\n", path)
+	}
+
+	fmt.Printf("\nlearned schedule per case (static order vs the warmed store):\n")
+	for _, in := range instances {
+		plan := eblow.PlanRace(store, in)
+		fmt.Printf("%-6s shape %s\n", in.Name, plan.Shape)
+		fmt.Printf("  static  : %v\n", eblow.PortfolioStrategies(in.Kind))
+		if !plan.Learned {
+			fmt.Printf("  learned : (cold — too few races for this shape)\n")
+			continue
+		}
+		fmt.Printf("  learned : %v\n", plan.Order)
+		if len(plan.Pruned) > 0 {
+			fmt.Printf("  pruned  : %v\n", plan.Pruned)
+		} else {
+			fmt.Printf("  pruned  : none\n")
+		}
+	}
 	return nil
 }
 

@@ -2,10 +2,16 @@
 // of the named synthetic benchmarks from the paper's evaluation or a custom
 // reduced-size instance.
 //
+// With -bands a 1DOSP MCC instance is written in per-column-cell-band mode:
+// one stencil row band per wafer region (Instance.RowGroups), which the 1D
+// planner picks up automatically and uses to decompose its LP relaxation
+// into independent per-band blocks.
+//
 // Examples:
 //
 //	ospgen -list
 //	ospgen -name 1M-5 -out 1m5.json
+//	ospgen -name 1M-5 -bands -out 1m5-banded.json
 //	ospgen -custom -kind 2d -chars 200 -regions 4 -seed 7 -out small.json
 package main
 
@@ -30,6 +36,7 @@ func main() {
 		chars   = flag.Int("chars", 200, "custom instance character count")
 		regions = flag.Int("regions", 4, "custom instance region (CP) count")
 		seed    = flag.Int64("seed", 1, "custom instance seed")
+		bands   = flag.Bool("bands", false, "attach per-column-cell row bands (one band per region) so the 1D planner runs in banded MCC mode")
 		out     = flag.String("out", "", "output JSON path, or - for stdout (required unless -list)")
 	)
 	flag.Parse()
@@ -57,6 +64,13 @@ func main() {
 		}
 	default:
 		log.Fatal("one of -list, -name or -custom is required")
+	}
+
+	if *bands {
+		if in.RowGroups = eblow.CellBands(in); in.RowGroups == nil {
+			log.Fatalf("-bands needs a 1DOSP instance with at least 2 regions and one row per region; %s is %s with %d regions and %d rows",
+				in.Name, in.Kind, in.NumRegions, in.NumRows())
+		}
 	}
 
 	switch *out {

@@ -37,6 +37,7 @@ import (
 	"eblow/internal/core"
 	"eblow/internal/exact"
 	"eblow/internal/gen"
+	"eblow/internal/learn"
 	"eblow/internal/oned"
 	"eblow/internal/portfolio"
 	"eblow/internal/solver"
@@ -77,10 +78,19 @@ type Options1D = oned.Options
 type Options2D = twod.Options
 
 // RowGroup pins a band of stencil rows to a set of wafer regions — the
-// stencil band of one MCC column cell. Set Options1D.RowGroups to make the
-// 1D planner treat the stencil as per-column-cell bands; the LP relaxation
-// then decomposes into independent blocks solved in parallel.
+// stencil band of one MCC column cell. Set Options1D.RowGroups (or generate
+// the instance with bands attached: Instance.RowGroups, cmd/ospgen -bands)
+// to make the 1D planner treat the stencil as per-column-cell bands; the LP
+// relaxation then decomposes into independent blocks solved in parallel.
 type RowGroup = oned.RowGroup
+
+// CellBands derives the per-column-cell stencil banding of a 1DOSP
+// instance: one row band per wafer region, stencil rows dealt round-robin.
+// Assign the result to Instance.RowGroups (or pass it as
+// Options1D.RowGroups) to run the planner in banded MCC mode; it returns
+// nil when the instance cannot be banded (2DOSP, fewer than two regions, or
+// fewer rows than regions).
+func CellBands(in *Instance) []RowGroup { return gen.CellBands(in) }
 
 // Trace1D exposes the successive-rounding iteration trace (Figs. 5 and 6 of
 // the paper); Result.Trace carries it when Params.CollectTrace is set.
@@ -108,6 +118,60 @@ type PortfolioResult = portfolio.Result
 
 // PortfolioRun is one strategy's outcome inside a portfolio race.
 type PortfolioRun = portfolio.Run
+
+// Learned portfolio scheduling. A LearnStore accumulates, per instance
+// shape (LearnShape), which strategy wins portfolio races of that shape;
+// the portfolio consults it to reorder the race by win rate, prune heavy
+// entrants that never win the shape, and rebalance its worker split — with
+// a cold store reproducing the static registry order bit-for-bit. Opt in
+// via Params.Learn/LearnPath (the race opens, records and saves the store
+// itself) or Params.LearnStore (an already-open store shared across solves,
+// persisted by its owner; cmd/eblowd holds one per server).
+type (
+	// LearnStore is the persistent shape-conditioned outcome store
+	// (JSON on disk, atomic rewrite, merge-on-load).
+	LearnStore = learn.Store
+	// LearnShape is an instance fingerprint: coarse buckets for kind,
+	// region count, character count, VSB pressure and stencil pressure.
+	LearnShape = learn.Shape
+	// LearnPlan is a scheduled race: entrant order, pruned entrants and
+	// heavy-pool weights (Result.Plan reports the one actually used).
+	LearnPlan = learn.Plan
+	// LearnShapeStats aggregates every strategy's record on one shape.
+	LearnShapeStats = learn.ShapeStats
+	// LearnStrategyStats is one strategy's record on one shape.
+	LearnStrategyStats = learn.StrategyStats
+)
+
+// DefaultLearnPath is the store file used when Params.Learn is set without
+// a Params.LearnPath.
+const DefaultLearnPath = learn.DefaultPath
+
+// OpenLearn opens (or, on first save, creates) the learned-scheduling
+// statistics store at path.
+func OpenLearn(path string) (*LearnStore, error) { return learn.Open(path) }
+
+// NewLearnStore returns an empty in-memory store with no backing file,
+// useful for learning within one process without persistence.
+func NewLearnStore() *LearnStore { return learn.NewStore() }
+
+// Fingerprint buckets the instance into the shape the learned portfolio
+// conditions its statistics on.
+func Fingerprint(in *Instance) LearnShape { return learn.Fingerprint(in) }
+
+// PlanRace returns the race plan the learned portfolio would use for the
+// instance under the store's current statistics, without running anything:
+// the default racing entrants for the instance's kind, reordered and pruned
+// by the recorded win rates (or the static order when the store is cold for
+// the instance's shape).
+func PlanRace(store *LearnStore, in *Instance) *LearnPlan {
+	entries := solver.Racing(in.Kind)
+	ents := make([]learn.Entrant, len(entries))
+	for i, e := range entries {
+		ents[i] = e.LearnEntrant()
+	}
+	return store.Plan(learn.Fingerprint(in), ents, learn.PlanConfig{})
+}
 
 // Solve plans the stencil of the instance with the E-BLOW planner for its
 // kind under the default parameters. It is shorthand for SolveWith with a

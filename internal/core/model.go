@@ -142,6 +142,24 @@ func (k Kind) String() string {
 	}
 }
 
+// MaxRowGroups bounds Instance.RowGroups so the 1D planner can keep each
+// character's band candidacy in one uint64 bitmask. Validate enforces it,
+// so a validated instance never fails banding-related checks at solve time.
+const MaxRowGroups = 64
+
+// RowGroup pins a band of stencil rows to a set of wafer regions — the
+// stencil band of one MCC column cell. A character is a candidate for the
+// band's rows only if it repeats in at least one of the band's regions; the
+// 1D planner exploits the banding to decompose its LP relaxation into
+// independent blocks solved in parallel.
+type RowGroup struct {
+	// Rows lists the stencil row indices of the band.
+	Rows []int `json:"rows"`
+	// Regions lists the wafer regions whose characters may use the band's
+	// rows. An empty list leaves the rows open to every character.
+	Regions []int `json:"regions,omitempty"`
+}
+
 // Instance is a complete OSP problem instance.
 type Instance struct {
 	Name string `json:"name"`
@@ -157,6 +175,12 @@ type Instance struct {
 	// RowHeight is the common character bounding-box height for 1DOSP
 	// instances (including vertical blanks). Unused for 2DOSP.
 	RowHeight int `json:"rowHeight,omitempty"`
+
+	// RowGroups optionally bands the stencil rows per column cell (1DOSP
+	// only): the planner treats the instance in per-column-cell-band mode
+	// unless the caller overrides the bands through its options. Nil keeps
+	// the paper's shared-stencil semantics.
+	RowGroups []RowGroup `json:"rowGroups,omitempty"`
 
 	Characters []Character `json:"characters"`
 }
@@ -194,6 +218,39 @@ func (in *Instance) Validate() error {
 			if c.Height != in.RowHeight {
 				return fmt.Errorf("core: 1DOSP character %d height %d != row height %d", c.ID, c.Height, in.RowHeight)
 			}
+		}
+	}
+	// Last: the row-index checks need RowHeight, validated above.
+	return in.validateRowGroups()
+}
+
+// validateRowGroups checks the optional column-cell banding: 1DOSP only,
+// row and region indices in range, and no row owned by two bands.
+func (in *Instance) validateRowGroups() error {
+	if len(in.RowGroups) == 0 {
+		return nil
+	}
+	if in.Kind != OneD {
+		return errors.New("core: row groups apply to 1DOSP instances only")
+	}
+	if len(in.RowGroups) > MaxRowGroups {
+		return fmt.Errorf("core: %d row groups exceed the maximum of %d", len(in.RowGroups), MaxRowGroups)
+	}
+	owner := make(map[int]int)
+	for g, grp := range in.RowGroups {
+		for _, r := range grp.Regions {
+			if r < 0 || r >= in.NumRegions {
+				return fmt.Errorf("core: row group %d references region %d of %d", g, r, in.NumRegions)
+			}
+		}
+		for _, j := range grp.Rows {
+			if j < 0 || j >= in.NumRows() {
+				return fmt.Errorf("core: row group %d references row %d of %d", g, j, in.NumRows())
+			}
+			if have, ok := owner[j]; ok {
+				return fmt.Errorf("core: row %d belongs to row groups %d and %d", j, have, g)
+			}
+			owner[j] = g
 		}
 	}
 	return nil

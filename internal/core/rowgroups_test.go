@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// banded1D builds a small valid 1D instance with two row bands.
+func banded1D() *Instance {
+	in := &Instance{
+		Name: "banded", Kind: OneD,
+		StencilWidth: 100, StencilHeight: 80, RowHeight: 40,
+		NumRegions: 2,
+		RowGroups: []RowGroup{
+			{Rows: []int{0}, Regions: []int{0}},
+			{Rows: []int{1}, Regions: []int{1}},
+		},
+	}
+	for i := 0; i < 3; i++ {
+		in.Characters = append(in.Characters, Character{
+			ID: i, Width: 20, Height: 40, VSBShots: 5, Repeats: []int64{2, 1},
+		})
+	}
+	return in
+}
+
+func TestRowGroupsValidate(t *testing.T) {
+	if err := banded1D().Validate(); err != nil {
+		t.Fatalf("valid banded instance rejected: %v", err)
+	}
+
+	bad := banded1D()
+	bad.RowGroups[1].Rows = []int{0} // row 0 owned twice
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate row ownership accepted")
+	}
+
+	bad = banded1D()
+	bad.RowGroups[0].Rows = []int{7} // only 2 rows exist
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+
+	bad = banded1D()
+	bad.RowGroups[0].Regions = []int{5}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range region accepted")
+	}
+
+	// More groups than the solver's uint64 candidacy mask can hold must be
+	// rejected here, so a validated instance never fails at solve time.
+	bad = banded1D()
+	bad.RowGroups = make([]RowGroup, MaxRowGroups+1)
+	if err := bad.Validate(); err == nil {
+		t.Errorf("%d row groups accepted (max %d)", MaxRowGroups+1, MaxRowGroups)
+	}
+
+	bad = banded1D()
+	bad.Kind = TwoD
+	bad.RowHeight = 0
+	for i := range bad.Characters {
+		bad.Characters[i].Height = 40
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("row groups on a 2DOSP instance accepted")
+	}
+}
+
+func TestRowGroupsSurviveJSONRoundTrip(t *testing.T) {
+	in := banded1D()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.RowGroups, in.RowGroups) {
+		t.Fatalf("row groups after round trip: %v, want %v", back.RowGroups, in.RowGroups)
+	}
+
+	// Instances without bands must not grow a rowGroups key.
+	in.RowGroups = nil
+	data, err = json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "" && json.Valid(data) {
+		var m map[string]any
+		_ = json.Unmarshal(data, &m)
+		if _, ok := m["rowGroups"]; ok {
+			t.Fatal("band-less instance serialized a rowGroups key")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"eblow/internal/core"
+)
+
+func TestCellBandsStructure(t *testing.T) {
+	in := Small(core.OneD, 60, 4, 3)
+	bands := CellBands(in)
+	if len(bands) != in.NumRegions {
+		t.Fatalf("got %d bands for %d regions", len(bands), in.NumRegions)
+	}
+	seen := make(map[int]bool)
+	rows := 0
+	for g, b := range bands {
+		if !reflect.DeepEqual(b.Regions, []int{g}) {
+			t.Errorf("band %d regions = %v, want [%d]", g, b.Regions, g)
+		}
+		for _, j := range b.Rows {
+			if j < 0 || j >= in.NumRows() || seen[j] {
+				t.Fatalf("band %d row %d out of range or duplicated", g, j)
+			}
+			seen[j] = true
+			rows++
+		}
+	}
+	if rows != in.NumRows() {
+		t.Fatalf("bands cover %d of %d rows", rows, in.NumRows())
+	}
+}
+
+func TestCellBandsDegenerateCases(t *testing.T) {
+	if b := CellBands(Small(core.TwoD, 40, 4, 1)); b != nil {
+		t.Errorf("2D instance banded: %v", b)
+	}
+	if b := CellBands(Small(core.OneD, 40, 1, 1)); b != nil {
+		t.Errorf("single-region instance banded: %v", b)
+	}
+}
+
+func TestColumnCellBandsParamAttachesValidBanding(t *testing.T) {
+	p := Params{
+		Name: "banded", Kind: core.OneD,
+		NumChars: 50, NumRegions: 4,
+		StencilW: 400, StencilH: 400, RowHeight: 40,
+		MinWidth: 30, MaxWidth: 60,
+		MinBlank: 4, MaxBlank: 14,
+		MinShots: 2, MaxShots: 60,
+		MaxRepeat: 20, RegionSkew: 0.5,
+		Seed: 9, ColumnCellBands: true,
+	}
+	in := Generate(p)
+	if len(in.RowGroups) != 4 {
+		t.Fatalf("instance carries %d bands, want 4", len(in.RowGroups))
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("banded instance fails validation: %v", err)
+	}
+	// Same params without banding: identical characters, no bands.
+	p.ColumnCellBands = false
+	plain := Generate(p)
+	if len(plain.RowGroups) != 0 {
+		t.Fatalf("plain instance carries bands")
+	}
+	if !reflect.DeepEqual(in.Characters, plain.Characters) {
+		t.Fatal("banding changed the generated characters")
+	}
+}

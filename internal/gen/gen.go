@@ -55,6 +55,14 @@ type Params struct {
 	// in a few regions (creating the load imbalance MCC planning must fix).
 	RegionSkew float64
 
+	// ColumnCellBands attaches per-column-cell stencil bands to a 1DOSP
+	// instance (see CellBands): one row band per wafer region, rows dealt
+	// round-robin. The 1D planner then runs in banded mode end to end —
+	// candidacy restricted to each region's band and the LP relaxation
+	// decomposed into independent blocks. Ignored for 2DOSP instances and
+	// when the instance has fewer rows than regions.
+	ColumnCellBands bool
+
 	Seed int64
 }
 
@@ -116,7 +124,32 @@ func Generate(p Params) *core.Instance {
 		c.Repeats = repeats(rng, p)
 		in.Characters = append(in.Characters, c)
 	}
+	if p.ColumnCellBands {
+		in.RowGroups = CellBands(in)
+	}
 	return in
+}
+
+// CellBands derives the per-column-cell stencil banding of a 1DOSP
+// instance: one row band per wafer region, stencil rows dealt round-robin,
+// the layout under which each column cell of an MCC system owns its own
+// band and the 1D relaxation becomes block-diagonal. It returns nil when
+// banding is impossible — a 2DOSP instance, fewer than two regions, fewer
+// rows than regions, or more regions than core.MaxRowGroups allows.
+func CellBands(in *core.Instance) []core.RowGroup {
+	m, regions := in.NumRows(), in.NumRegions
+	if in.Kind != core.OneD || regions < 2 || m < regions || regions > core.MaxRowGroups {
+		return nil
+	}
+	groups := make([]core.RowGroup, regions)
+	for g := range groups {
+		groups[g].Regions = []int{g}
+	}
+	for j := 0; j < m; j++ {
+		g := j % regions
+		groups[g].Rows = append(groups[g].Rows, j)
+	}
+	return groups
 }
 
 func randBetween(rng *rand.Rand, lo, hi int) int {

@@ -1,0 +1,160 @@
+// Package learn makes the portfolio race shape-aware: it fingerprints OSP
+// instances into a small set of shape buckets, accumulates per-shape
+// statistics about which strategy wins races of that shape, and turns the
+// accumulated statistics into a race plan — entrants reordered by
+// shape-conditional win rate, never-winning heavy entrants pruned, and the
+// heavy-worker split rebalanced toward likely winners.
+//
+// The three pieces:
+//
+//   - Fingerprint buckets an instance into a Shape: problem kind (1D/2D),
+//     region count, character count, VSB pressure (how expensive the
+//     candidates are to write without character projection) and blank
+//     pressure (how oversubscribed the stencil outline is). Instances of the
+//     same Shape tend to have the same strategy win profile, which is what
+//     makes the statistics transferable across instances.
+//   - Store is the persistent outcome store: a JSON file on disk holding,
+//     per shape and per strategy, how many races it entered, how many it
+//     won, its best objective and its total wall-clock. Saving is an atomic
+//     rewrite (temp file + rename) that first merges the deltas recorded in
+//     memory into whatever is on disk, so concurrent writers sharing a store
+//     file lose no counts.
+//   - Store.Plan is the scheduler: given the shape and the static race
+//     order it returns a Plan. With enough recorded races the plan reorders
+//     entrants by smoothed win rate, prunes heavy entrants whose win
+//     probability sits below a floor, and assigns heavy-pool weights; with a
+//     cold store (or too few races for the shape) the plan is exactly the
+//     static order with no pruning and uniform weights, bit-for-bit.
+//
+// Determinism: every method is a pure function of the store contents and
+// its arguments — map iteration never leaks into an ordering, ties keep the
+// static order — so a fixed store and a fixed seed yield a bit-identical
+// race plan and therefore a bit-identical race.
+package learn
+
+import (
+	"fmt"
+
+	"eblow/internal/core"
+)
+
+// Shape is an instance fingerprint: the coarse bucket an instance falls
+// into for the purpose of win-rate statistics. Every field is a small
+// enumerated label, so the number of distinct shapes stays bounded no
+// matter how many instances are recorded.
+type Shape struct {
+	// Kind is the problem kind label, "1DOSP" or "2DOSP".
+	Kind string `json:"kind"`
+	// Regions buckets the wafer-region (column-cell) count.
+	Regions string `json:"regions"`
+	// Chars buckets the character-candidate count.
+	Chars string `json:"chars"`
+	// VSB buckets the mean VSB shot count of the candidates — how much
+	// writing time is at stake per character left off the stencil.
+	VSB string `json:"vsb"`
+	// Blank buckets the stencil pressure: total candidate footprint over
+	// stencil capacity. Above 1 the stencil cannot hold every candidate and
+	// selection quality dominates; well below 1 placement barely matters.
+	Blank string `json:"blank"`
+}
+
+// Key renders the shape as the stable string used to key the store.
+func (s Shape) Key() string {
+	return fmt.Sprintf("%s/regions=%s/chars=%s/vsb=%s/blank=%s",
+		s.Kind, s.Regions, s.Chars, s.VSB, s.Blank)
+}
+
+// String returns the same stable key Key does.
+func (s Shape) String() string { return s.Key() }
+
+// Fingerprint buckets the instance into its Shape. The bucketing is
+// deliberately coarse — a handful of values per dimension — so that a few
+// recorded races already cover the shapes a deployment actually sees.
+func Fingerprint(in *core.Instance) Shape {
+	return Shape{
+		Kind:    in.Kind.String(),
+		Regions: bucketRegions(in.NumRegions),
+		Chars:   bucketChars(in.NumCharacters()),
+		VSB:     bucketVSB(in),
+		Blank:   bucketBlank(in),
+	}
+}
+
+// bucketRegions buckets the column-cell count: single-CP instances behave
+// unlike MCC ones, and very wide MCC systems unlike narrow ones.
+func bucketRegions(n int) string {
+	switch {
+	case n <= 1:
+		return "1"
+	case n <= 4:
+		return "2-4"
+	case n <= 16:
+		return "5-16"
+	default:
+		return ">16"
+	}
+}
+
+// bucketChars buckets the candidate count; the thresholds straddle the
+// paper's benchmark sizes (tiny Table-5 cases, 1000, 4000).
+func bucketChars(n int) string {
+	switch {
+	case n <= 50:
+		return "tiny"
+	case n <= 400:
+		return "small"
+	case n <= 1500:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// bucketVSB buckets the mean VSB shot count per candidate.
+func bucketVSB(in *core.Instance) string {
+	var total int64
+	for _, c := range in.Characters {
+		total += int64(c.VSBShots)
+	}
+	mean := float64(total) / float64(len(in.Characters))
+	switch {
+	case mean < 10:
+		return "low"
+	case mean < 30:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// bucketBlank buckets the stencil pressure: the summed candidate footprint
+// (row width for 1D, bounding-box area for 2D) divided by the stencil
+// capacity. The ratio tells the planners apart — under low pressure every
+// candidate fits and the cheap heuristics are near-optimal, under high
+// pressure the LP/annealing planners earn their keep.
+func bucketBlank(in *core.Instance) string {
+	var demand, capacity float64
+	if in.Kind == core.OneD {
+		for _, c := range in.Characters {
+			demand += float64(c.Width - c.SymmetricHBlank())
+		}
+		capacity = float64(in.NumRows()) * float64(in.StencilWidth)
+	} else {
+		for _, c := range in.Characters {
+			demand += float64(c.Width) * float64(c.Height)
+		}
+		capacity = float64(in.StencilWidth) * float64(in.StencilHeight)
+	}
+	if capacity <= 0 {
+		return "over"
+	}
+	ratio := demand / capacity
+	switch {
+	case ratio <= 0.8:
+		return "loose"
+	case ratio <= 2:
+		return "tight"
+	default:
+		return "over"
+	}
+}

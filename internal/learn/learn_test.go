@@ -1,0 +1,331 @@
+package learn
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"eblow/internal/gen"
+)
+
+// entrants2D mirrors the registry's 2D race: eblow and sa24 heavy+scalable,
+// greedy cheap.
+func entrants2D() []Entrant {
+	return []Entrant{
+		{Name: "eblow", Heavy: true, Scalable: true},
+		{Name: "sa24", Heavy: true, Scalable: true},
+		{Name: "greedy", Cheap: true},
+	}
+}
+
+func record(st *Store, shape Shape, winner string, names ...string) {
+	runs := make([]RunOutcome, len(names))
+	for i, n := range names {
+		runs[i] = RunOutcome{Name: n, Won: n == winner, Objective: 100 + int64(i), Elapsed: time.Millisecond}
+	}
+	st.Record(shape, runs)
+}
+
+func TestFingerprintBucketsAndDeterminism(t *testing.T) {
+	in := gen.Small(0, 120, 10, 7)
+	a, b := Fingerprint(in), Fingerprint(in)
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %v vs %v", a, b)
+	}
+	if a.Kind != "1DOSP" {
+		t.Errorf("kind = %q, want 1DOSP", a.Kind)
+	}
+	if a.Regions != "5-16" {
+		t.Errorf("regions bucket = %q, want 5-16 for 10 regions", a.Regions)
+	}
+	if a.Chars != "small" {
+		t.Errorf("chars bucket = %q, want small for 120 characters", a.Chars)
+	}
+	two := Fingerprint(gen.Small(1, 120, 1, 7))
+	if two.Kind != "2DOSP" || two.Regions != "1" {
+		t.Errorf("2D fingerprint = %v", two)
+	}
+	if a.Key() == two.Key() {
+		t.Errorf("distinct shapes share key %q", a.Key())
+	}
+}
+
+func TestColdPlanIsStaticOrder(t *testing.T) {
+	st := NewStore()
+	shape := Shape{Kind: "2DOSP", Regions: "1", Chars: "small", VSB: "medium", Blank: "tight"}
+	entrants := entrants2D()
+
+	plan := st.Plan(shape, entrants, PlanConfig{})
+	if plan.Learned {
+		t.Fatal("empty store produced a learned plan")
+	}
+	want := []string{"eblow", "sa24", "greedy"}
+	if !reflect.DeepEqual(plan.Order, want) {
+		t.Fatalf("cold order = %v, want static %v", plan.Order, want)
+	}
+	if len(plan.Pruned) != 0 {
+		t.Fatalf("cold plan pruned %v", plan.Pruned)
+	}
+	for _, n := range []string{"eblow", "sa24"} {
+		if plan.Weights[n] != 1 {
+			t.Errorf("cold weight[%s] = %v, want 1", n, plan.Weights[n])
+		}
+	}
+
+	// One or two races is still below MinRaces: stays cold.
+	record(st, shape, "eblow", "eblow", "sa24", "greedy")
+	record(st, shape, "eblow", "eblow", "sa24", "greedy")
+	if p := st.Plan(shape, entrants, PlanConfig{}); p.Learned {
+		t.Fatalf("plan learned after 2 races (MinRaces=%d)", DefaultMinRaces)
+	}
+}
+
+func TestLearnedPlanReordersAndPrunes(t *testing.T) {
+	st := NewStore()
+	shape := Shape{Kind: "2DOSP", Regions: "1", Chars: "small", VSB: "medium", Blank: "tight"}
+	entrants := entrants2D()
+
+	// sa24 wins the shape consistently; eblow never does.
+	for i := 0; i < 4; i++ {
+		record(st, shape, "sa24", "eblow", "sa24", "greedy")
+	}
+	plan := st.Plan(shape, entrants, PlanConfig{})
+	if !plan.Learned {
+		t.Fatal("plan not learned after 4 races")
+	}
+	if len(plan.Order) == 0 || plan.Order[0] != "sa24" {
+		t.Fatalf("order = %v, want sa24 first", plan.Order)
+	}
+	if !reflect.DeepEqual(plan.Pruned, []string{"eblow"}) {
+		t.Fatalf("pruned = %v, want the never-winning heavy entrant [eblow]", plan.Pruned)
+	}
+	for _, n := range plan.Order {
+		if n == "eblow" {
+			t.Fatalf("pruned entrant still in order %v", plan.Order)
+		}
+	}
+	if plan.Weights["sa24"] <= 0 {
+		t.Fatalf("winner weight = %v, want > 0", plan.Weights["sa24"])
+	}
+	// greedy is cheap and winless, but must survive: it is the safety net.
+	found := false
+	for _, n := range plan.Order {
+		found = found || n == "greedy"
+	}
+	if !found {
+		t.Fatalf("cheap entrant pruned from %v", plan.Order)
+	}
+
+	// Determinism: the same store contents yield the same plan, repeatedly.
+	for i := 0; i < 5; i++ {
+		again := st.Plan(shape, entrants, PlanConfig{})
+		if !reflect.DeepEqual(again, plan) {
+			t.Fatalf("plan differs across calls:\n%+v\n%+v", again, plan)
+		}
+	}
+}
+
+func TestTopRankedEntrantSurvivesPruning(t *testing.T) {
+	st := NewStore()
+	shape := Shape{Kind: "2DOSP", Regions: "1", Chars: "tiny", VSB: "low", Blank: "loose"}
+	heavyOnly := []Entrant{
+		{Name: "eblow", Heavy: true, Scalable: true},
+		{Name: "sa24", Heavy: true, Scalable: true},
+	}
+	// Both heavies lose every race (the recorded winner is not racing
+	// here), so both sit below the pruning floor — but the top-ranked one
+	// (the smoothed tie goes to the earlier static position) must survive:
+	// a race can never prune its own best bet, let alone every entrant.
+	for i := 0; i < 4; i++ {
+		record(st, shape, "greedy", "eblow", "sa24", "greedy")
+	}
+	plan := st.Plan(shape, heavyOnly, PlanConfig{})
+	if !reflect.DeepEqual(plan.Order, []string{"eblow"}) || !reflect.DeepEqual(plan.Pruned, []string{"sa24"}) {
+		t.Fatalf("order %v pruned %v, want the top-ranked eblow kept and sa24 pruned", plan.Order, plan.Pruned)
+	}
+
+	// A winless heavy can still outrank everything kept: a cheap entrant
+	// winless over 20 races smooths to 1/22 ~ 0.045, below the heavy's
+	// 0/3 smoothed (0+1)/(3+2) = 0.2. Rank protection keeps the heavy.
+	mixed := []Entrant{
+		{Name: "heavy", Heavy: true, Scalable: true},
+		{Name: "cheap", Cheap: true},
+	}
+	st2 := NewStore()
+	for i := 0; i < 20; i++ {
+		runs := []RunOutcome{{Name: "cheap", Objective: 100, Elapsed: time.Millisecond}}
+		if i < 3 {
+			runs = append(runs, RunOutcome{Name: "heavy", Objective: 120, Elapsed: time.Millisecond})
+		}
+		st2.Record(shape, runs)
+	}
+	plan = st2.Plan(shape, mixed, PlanConfig{})
+	if len(plan.Pruned) != 0 {
+		t.Fatalf("top-ranked winless heavy was pruned: order %v pruned %v", plan.Order, plan.Pruned)
+	}
+	if plan.Order[0] != "heavy" {
+		t.Fatalf("order %v, want the higher-smoothed heavy first", plan.Order)
+	}
+}
+
+func TestSplitWorkersWeightsAndFloor(t *testing.T) {
+	plan := &Plan{Learned: true, Weights: map[string]float64{"a": 0.75, "b": 0.25}}
+	shares := plan.SplitWorkers(8, []string{"a", "b"})
+	if shares["a"]+shares["b"] != 8 {
+		t.Fatalf("shares %v do not sum to the pool", shares)
+	}
+	if shares["a"] <= shares["b"] || shares["b"] < 1 {
+		t.Fatalf("shares %v, want a > b >= 1", shares)
+	}
+	// More entrants than workers: everyone still gets one.
+	shares = plan.SplitWorkers(1, []string{"a", "b"})
+	if shares["a"] != 1 || shares["b"] != 1 {
+		t.Fatalf("floor violated: %v", shares)
+	}
+}
+
+func TestStoreRoundTripRecordPersistReloadPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "learn.json")
+	shape := Shape{Kind: "2DOSP", Regions: "1", Chars: "small", VSB: "medium", Blank: "tight"}
+
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dirty() {
+		t.Fatal("fresh store is dirty")
+	}
+	for i := 0; i < 4; i++ {
+		record(st, shape, "sa24", "eblow", "sa24", "greedy")
+	}
+	if !st.Dirty() {
+		t.Fatal("recorded store is not dirty")
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Dirty() {
+		t.Fatal("saved store is still dirty")
+	}
+
+	reloaded, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st.Plan(shape, entrants2D(), PlanConfig{})
+	got := reloaded.Plan(shape, entrants2D(), PlanConfig{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reloaded plan differs:\n%+v\n%+v", got, want)
+	}
+	if !got.Learned || !reflect.DeepEqual(got.Pruned, []string{"eblow"}) {
+		t.Fatalf("reloaded plan = %+v, want learned with eblow pruned", got)
+	}
+}
+
+func TestSaveMergesConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "learn.json")
+	shape := Shape{Kind: "1DOSP", Regions: "1", Chars: "tiny", VSB: "low", Blank: "loose"}
+
+	// Two stores share the file, as two processes would.
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(a, shape, "eblow", "eblow", "greedy")
+	record(b, shape, "greedy", "eblow", "greedy")
+	if err := a.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := final.Shape(shape)
+	if ss == nil || ss.Races != 2 {
+		t.Fatalf("merged races = %+v, want 2 (one per writer)", ss)
+	}
+	if s := ss.Strategies["eblow"]; s == nil || s.Races != 2 || s.Wins != 1 {
+		t.Fatalf("eblow stats = %+v, want races 2 wins 1", s)
+	}
+}
+
+// Concurrent saves from independent stores sharing one file must lose no
+// counts: the flock around Save's read-merge-rename serializes them.
+func TestConcurrentSavesLoseNoCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "learn.json")
+	shape := Shape{Kind: "1DOSP", Regions: "1", Chars: "tiny", VSB: "low", Blank: "loose"}
+	const writers, rounds = 4, 10
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := Open(path)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				record(st, shape, "eblow", "eblow", "greedy")
+				if err := st.Save(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	final, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := final.Shape(shape).Races; got != writers*rounds {
+		t.Fatalf("persisted races = %d, want %d (counts lost to a save race)", got, writers*rounds)
+	}
+}
+
+func TestConcurrentRecordAndPlan(t *testing.T) {
+	st := NewStore()
+	shape := Shape{Kind: "1DOSP", Regions: "2-4", Chars: "small", VSB: "medium", Blank: "tight"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				record(st, shape, "eblow", "eblow", "row25", "greedy")
+				_ = st.Plan(shape, []Entrant{{Name: "eblow", Heavy: true, Scalable: true}, {Name: "row25", Cheap: true}}, PlanConfig{})
+				_ = st.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Shape(shape).Races; got != 400 {
+		t.Fatalf("races = %d, want 400", got)
+	}
+}
+
+func TestOpenRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt store file opened without error")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package learn
+
+// lockFile is a no-op where flock is unavailable: Save stays atomic within
+// one process (Store.mu) and crash-safe (temp file + rename), but two
+// processes saving the same store file concurrently may lose the smaller
+// delta. The unix build carries the real advisory lock.
+func lockFile(path string) (unlock func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package learn
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory lock on a ".lock" sidecar of the
+// store file, so the read-merge-rename sequence in Save is atomic across
+// processes sharing one store, not just across goroutines sharing one
+// Store. The returned function releases the lock. flock is per open file
+// description, so two Stores in one process exclude each other too.
+func lockFile(path string) (unlock func(), err error) {
+	f, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("learn: locking store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("learn: locking store: %w", err)
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,207 @@
+package learn
+
+import "sort"
+
+// Entrant describes one candidate strategy of a race, with the registry
+// metadata the scheduler needs.
+type Entrant struct {
+	// Name is the strategy's registry name.
+	Name string
+	// Heavy marks strategies that saturate the worker pool (annealing/LP
+	// planners); only heavy entrants are ever pruned or weighted.
+	Heavy bool
+	// Scalable marks heavy strategies whose throughput grows with workers;
+	// only they receive a heavy-pool weight.
+	Scalable bool
+	// Cheap marks the fast deterministic heuristics that guarantee a
+	// feasible incumbent; the scheduler never prunes them.
+	Cheap bool
+}
+
+// PlanConfig tunes the scheduler. The zero value is completed with the
+// defaults below.
+type PlanConfig struct {
+	// MinRaces is how many races must be recorded for a shape before the
+	// plan deviates from the static order at all (default 3). Below it the
+	// store is "cold" for the shape and the plan is the static order
+	// bit-for-bit.
+	MinRaces int
+	// PruneBelow is the win-probability floor: a heavy entrant whose raw
+	// win rate on the shape sits below it (after at least MinRaces races of
+	// its own) is dropped from the race (default 0.05).
+	PruneBelow float64
+}
+
+// DefaultMinRaces and DefaultPruneBelow complete a zero PlanConfig.
+const (
+	DefaultMinRaces   = 3
+	DefaultPruneBelow = 0.05
+)
+
+func (c PlanConfig) withDefaults() PlanConfig {
+	if c.MinRaces <= 0 {
+		c.MinRaces = DefaultMinRaces
+	}
+	if c.PruneBelow <= 0 {
+		c.PruneBelow = DefaultPruneBelow
+	}
+	return c
+}
+
+// Plan is a scheduled race: the entrants to run, in order, plus the pruned
+// ones and the heavy-pool weights. It is a pure function of the store
+// contents, the shape and the static entrant order — never of wall clock or
+// map iteration — so a fixed store yields a bit-identical plan.
+type Plan struct {
+	// Shape is the instance fingerprint the plan was conditioned on.
+	Shape Shape `json:"shape"`
+	// Learned reports whether the statistics actually shaped the plan.
+	// False means a cold start: Order is exactly the static order, Pruned
+	// is empty and Weights are uniform.
+	Learned bool `json:"learned"`
+	// Order lists the entrants to race, best win rate first. Ties and
+	// never-raced entrants keep their relative static order.
+	Order []string `json:"order"`
+	// Pruned lists the heavy entrants dropped for a win probability below
+	// the floor, in static order.
+	Pruned []string `json:"pruned,omitempty"`
+	// Weights maps each heavy scalable entrant in Order to its share of the
+	// heavy worker pool (positive, not normalised). A cold plan assigns
+	// every such entrant weight 1.
+	Weights map[string]float64 `json:"weights,omitempty"`
+}
+
+// Plan schedules a race of the given entrants (in static registry order)
+// for the shape. With fewer than cfg.MinRaces recorded races for the shape
+// the returned plan is cold: static order, no pruning, uniform weights.
+// Otherwise entrants are reordered by Laplace-smoothed win rate, heavy
+// entrants below the win-probability floor are pruned — except cheap
+// entrants (the feasibility safety net) and the top-ranked entrant, which
+// are never pruned, so the race always keeps at least one entrant — and
+// heavy scalable entrants get weights proportional to their smoothed win
+// rate.
+func (st *Store) Plan(shape Shape, entrants []Entrant, cfg PlanConfig) *Plan {
+	cfg = cfg.withDefaults()
+	plan := &Plan{Shape: shape, Weights: make(map[string]float64, len(entrants))}
+
+	ss := st.Shape(shape)
+	if ss == nil || ss.Races < cfg.MinRaces {
+		for _, e := range entrants {
+			plan.Order = append(plan.Order, e.Name)
+			if e.Heavy && e.Scalable {
+				plan.Weights[e.Name] = 1
+			}
+		}
+		return plan
+	}
+	plan.Learned = true
+
+	// Laplace smoothing (+1 win, +2 races) keeps never-raced entrants at a
+	// neutral 0.5-ish rate instead of zero, so a strategy the store has no
+	// evidence about is neither promoted nor condemned.
+	smoothed := func(name string) float64 {
+		s := ss.Strategies[name]
+		if s == nil {
+			return 1.0 / 2.0
+		}
+		return (float64(s.Wins) + 1) / (float64(s.Races) + 2)
+	}
+
+	// Rank everyone first: the top-ranked entrant is protected from
+	// pruning, so the plan can never drop its own best bet no matter how
+	// the floor is tuned. Ties go to the earlier static position.
+	top := 0
+	for i := 1; i < len(entrants); i++ {
+		if smoothed(entrants[i].Name) > smoothed(entrants[top].Name) {
+			top = i
+		}
+	}
+
+	type ranked struct {
+		Entrant
+		rate   float64
+		static int
+	}
+	var keep []ranked
+	for i, e := range entrants {
+		s := ss.Strategies[e.Name]
+		// The pruning floor uses the raw rate: after MinRaces races with
+		// wins/races below the floor the entrant demonstrably does not win
+		// this shape. Cheap entrants stay — they are the feasibility safety
+		// net the portfolio's degradation guarantee rests on.
+		if i != top && e.Heavy && s != nil && s.Races >= cfg.MinRaces && s.WinRate() < cfg.PruneBelow {
+			plan.Pruned = append(plan.Pruned, e.Name)
+			continue
+		}
+		keep = append(keep, ranked{Entrant: e, rate: smoothed(e.Name), static: i})
+	}
+	sort.SliceStable(keep, func(a, b int) bool {
+		if keep[a].rate != keep[b].rate {
+			return keep[a].rate > keep[b].rate
+		}
+		return keep[a].static < keep[b].static
+	})
+	for _, r := range keep {
+		plan.Order = append(plan.Order, r.Name)
+		if r.Heavy && r.Scalable {
+			plan.Weights[r.Name] = r.rate
+		}
+	}
+	return plan
+}
+
+// SplitWorkers divides a worker pool among the heavy scalable entrants of
+// the plan in proportion to their weights, by largest remainder with every
+// entrant guaranteed at least one worker. names must be the heavy scalable
+// entrants actually racing, in race order; the return maps each to its
+// share. A nil or cold plan splits evenly.
+func (p *Plan) SplitWorkers(workers int, names []string) map[string]int {
+	out := make(map[string]int, len(names))
+	if len(names) == 0 {
+		return out
+	}
+	if workers < len(names) {
+		workers = len(names) // one worker each is the floor
+	}
+	var total float64
+	weights := make([]float64, len(names))
+	for i, n := range names {
+		w := 1.0
+		if p != nil && p.Learned {
+			if pw, ok := p.Weights[n]; ok && pw > 0 {
+				w = pw
+			}
+		}
+		weights[i] = w
+		total += w
+	}
+	// Integer shares by largest remainder, floored at 1 per entrant.
+	type frac struct {
+		i int
+		f float64
+	}
+	assigned := 0
+	shares := make([]int, len(names))
+	fracs := make([]frac, len(names))
+	avail := workers - len(names) // distribute beyond the 1-each floor
+	for i := range names {
+		exact := float64(avail) * weights[i] / total
+		shares[i] = 1 + int(exact)
+		assigned += shares[i]
+		fracs[i] = frac{i, exact - float64(int(exact))}
+	}
+	sort.SliceStable(fracs, func(a, b int) bool {
+		if fracs[a].f != fracs[b].f {
+			return fracs[a].f > fracs[b].f
+		}
+		return fracs[a].i < fracs[b].i
+	})
+	for k := 0; assigned < workers && k < len(fracs); k++ {
+		shares[fracs[k].i]++
+		assigned++
+	}
+	for i, n := range names {
+		out[n] = shares[i]
+	}
+	return out
+}

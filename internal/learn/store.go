@@ -1,0 +1,335 @@
+package learn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultPath is the store file used when a caller opts into learning
+// without naming one.
+const DefaultPath = "eblow.learn.json"
+
+// StrategyStats accumulates one strategy's record on one shape.
+type StrategyStats struct {
+	// Races counts the recorded races the strategy entered.
+	Races int `json:"races"`
+	// Wins counts the races the strategy won.
+	Wins int `json:"wins"`
+	// Failures counts the races the strategy produced no feasible plan in
+	// (error, infeasible, or cut off by the deadline).
+	Failures int `json:"failures,omitempty"`
+	// TotalElapsedMs sums the strategy's wall-clock across its races.
+	TotalElapsedMs int64 `json:"totalElapsedMs"`
+	// BestObjective is the best (lowest) writing time the strategy ever
+	// produced on the shape; -1 until it produces one.
+	BestObjective int64 `json:"bestObjective"`
+}
+
+// add merges o into s (counters add, best objective takes the minimum).
+func (s *StrategyStats) add(o *StrategyStats) {
+	s.Races += o.Races
+	s.Wins += o.Wins
+	s.Failures += o.Failures
+	s.TotalElapsedMs += o.TotalElapsedMs
+	if o.BestObjective >= 0 && (s.BestObjective < 0 || o.BestObjective < s.BestObjective) {
+		s.BestObjective = o.BestObjective
+	}
+}
+
+// WinRate returns the raw win frequency (0 when the strategy never raced).
+func (s *StrategyStats) WinRate() float64 {
+	if s.Races == 0 {
+		return 0
+	}
+	return float64(s.Wins) / float64(s.Races)
+}
+
+// ShapeStats accumulates every strategy's record on one shape.
+type ShapeStats struct {
+	// Races counts the recorded races of the shape.
+	Races int `json:"races"`
+	// Strategies holds the per-strategy records, keyed by registry name.
+	Strategies map[string]*StrategyStats `json:"strategies"`
+}
+
+// RunOutcome is one entrant's outcome in a race being recorded.
+type RunOutcome struct {
+	// Name is the strategy's registry name.
+	Name string
+	// Won marks the race winner (at most one per race).
+	Won bool
+	// Objective is the writing time of the plan the entrant produced, or -1
+	// when it produced none.
+	Objective int64
+	// Elapsed is the entrant's wall-clock time.
+	Elapsed time.Duration
+	// Failed marks entrants that produced no feasible plan.
+	Failed bool
+}
+
+// Store accumulates shape-conditioned race outcomes and persists them as
+// one JSON file. The zero value is not usable; construct with NewStore (in
+// memory only) or Open (backed by a file).
+//
+// Save performs an atomic rewrite with merge-on-load: it re-reads the file,
+// merges the outcomes recorded in memory since the last sync into it, and
+// renames a temp file over it — so several processes appending to the same
+// store file lose no counts, and a crash never leaves a half-written file.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	// total is the full picture (disk state at last sync plus local deltas);
+	// Plan and Snapshot read it. delta holds only the outcomes recorded
+	// since the last Save/Open, which is what Save merges into the file.
+	total map[string]*ShapeStats
+	delta map[string]*ShapeStats
+}
+
+// NewStore returns an empty in-memory store with no backing file; Save is a
+// no-op for it. The job service uses one per process when learning is
+// enabled without persistence.
+func NewStore() *Store {
+	return &Store{
+		total: make(map[string]*ShapeStats),
+		delta: make(map[string]*ShapeStats),
+	}
+}
+
+// Open returns a store backed by the JSON file at path. A missing file is
+// not an error — the store starts cold and Save creates the file.
+func Open(path string) (*Store, error) {
+	st := NewStore()
+	st.path = path
+	loaded, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mergeInto(st.total, loaded)
+	return st, nil
+}
+
+// Path returns the backing file path ("" for an in-memory store).
+func (st *Store) Path() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.path
+}
+
+// Record adds one race outcome: the shape it ran on, and every entrant's
+// result. It only mutates memory; call Save to persist.
+func (st *Store) Record(shape Shape, runs []RunOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	key := shape.Key()
+	for _, m := range []map[string]*ShapeStats{st.total, st.delta} {
+		ss := m[key]
+		if ss == nil {
+			ss = &ShapeStats{Strategies: make(map[string]*StrategyStats)}
+			m[key] = ss
+		}
+		ss.Races++
+		for _, r := range runs {
+			s := ss.Strategies[r.Name]
+			if s == nil {
+				s = &StrategyStats{BestObjective: -1}
+				ss.Strategies[r.Name] = s
+			}
+			s.add(&StrategyStats{
+				Races:          1,
+				Wins:           boolToInt(r.Won),
+				Failures:       boolToInt(r.Failed),
+				TotalElapsedMs: r.Elapsed.Milliseconds(),
+				BestObjective:  r.Objective,
+			})
+		}
+	}
+}
+
+// Dirty reports whether outcomes have been recorded since the last Save.
+func (st *Store) Dirty() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.delta) > 0
+}
+
+// Save persists the store: the file is re-read, the outcomes recorded since
+// the last sync are merged in, and the result replaces the file atomically
+// (temp file + rename in the same directory). The read-merge-rename runs
+// under an exclusive flock of a ".lock" sidecar, so concurrent savers —
+// other goroutines or other processes sharing the store file — serialize
+// instead of overwriting each other's counts (on platforms without flock
+// the cross-process guarantee degrades to last-writer-wins). A store with
+// no backing file or no new outcomes returns nil without touching the
+// filesystem.
+func (st *Store) Save() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.path == "" || len(st.delta) == 0 {
+		return nil
+	}
+	unlock, err := lockFile(st.path)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	onDisk, err := readFile(st.path)
+	if err != nil {
+		return err
+	}
+	mergeInto(onDisk, st.delta)
+	if err := writeFileAtomic(st.path, onDisk); err != nil {
+		return err
+	}
+	st.total = onDisk
+	st.delta = make(map[string]*ShapeStats)
+	return nil
+}
+
+// Snapshot returns a deep copy of the per-shape statistics, keyed by
+// Shape.Key(). Safe to serialize or mutate; the store is unaffected.
+func (st *Store) Snapshot() map[string]*ShapeStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return copyStats(st.total)
+}
+
+// Shape returns a deep copy of one shape's statistics (nil when the shape
+// was never recorded) plus the number of races recorded for it.
+func (st *Store) Shape(shape Shape) *ShapeStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss := st.total[shape.Key()]
+	if ss == nil {
+		return nil
+	}
+	return copyShape(ss)
+}
+
+// ShapeKeys lists the recorded shape keys in sorted order.
+func (st *Store) ShapeKeys() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keys := make([]string, 0, len(st.total))
+	for k := range st.total {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fileFormat is the JSON shape of the store file.
+type fileFormat struct {
+	// Version guards future format migrations.
+	Version int `json:"version"`
+	// Shapes maps Shape.Key() to the accumulated statistics.
+	Shapes map[string]*ShapeStats `json:"shapes"`
+}
+
+// readFile loads a store file into a fresh stats map; a missing file yields
+// an empty map.
+func readFile(path string) (map[string]*ShapeStats, error) {
+	out := make(map[string]*ShapeStats)
+	if path == "" {
+		return out, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("learn: reading store: %w", err)
+	}
+	var f fileFormat
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("learn: store %s is not a valid stats file: %w", path, err)
+	}
+	if f.Shapes != nil {
+		out = f.Shapes
+	}
+	for _, ss := range out {
+		if ss.Strategies == nil {
+			ss.Strategies = make(map[string]*StrategyStats)
+		}
+	}
+	return out, nil
+}
+
+// writeFileAtomic writes the stats as indented JSON via a temp file in the
+// same directory and an atomic rename.
+func writeFileAtomic(path string, stats map[string]*ShapeStats) error {
+	data, err := json.MarshalIndent(fileFormat{Version: 1, Shapes: stats}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("learn: encoding store: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".learn-*.json")
+	if err != nil {
+		return fmt.Errorf("learn: writing store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("learn: writing store: %w", werr)
+		}
+		return fmt.Errorf("learn: writing store: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("learn: writing store: %w", err)
+	}
+	return nil
+}
+
+// mergeInto adds src's counts into dst (dst takes ownership of nothing in
+// src; every merged entry is copied or added field-wise).
+func mergeInto(dst, src map[string]*ShapeStats) {
+	for key, ss := range src {
+		d := dst[key]
+		if d == nil {
+			d = &ShapeStats{Strategies: make(map[string]*StrategyStats)}
+			dst[key] = d
+		}
+		d.Races += ss.Races
+		for name, s := range ss.Strategies {
+			ds := d.Strategies[name]
+			if ds == nil {
+				ds = &StrategyStats{BestObjective: -1}
+				d.Strategies[name] = ds
+			}
+			ds.add(s)
+		}
+	}
+}
+
+func copyStats(src map[string]*ShapeStats) map[string]*ShapeStats {
+	out := make(map[string]*ShapeStats, len(src))
+	for key, ss := range src {
+		out[key] = copyShape(ss)
+	}
+	return out
+}
+
+func copyShape(ss *ShapeStats) *ShapeStats {
+	cp := &ShapeStats{Races: ss.Races, Strategies: make(map[string]*StrategyStats, len(ss.Strategies))}
+	for name, s := range ss.Strategies {
+		sc := *s
+		cp.Strategies[name] = &sc
+	}
+	return cp
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

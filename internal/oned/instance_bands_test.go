@@ -1,0 +1,60 @@
+package oned
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"eblow/internal/gen"
+)
+
+// An instance that carries its own column-cell banding must solve exactly
+// as if the same bands had been passed through Options.RowGroups — the end
+// to end contract of per-column-cell-band mode.
+func TestInstanceRowGroupsMatchOptionRowGroups(t *testing.T) {
+	plain := gen.Small(0, 60, 4, 17)
+	bands := gen.CellBands(plain)
+	if bands == nil {
+		t.Fatal("test instance cannot be banded")
+	}
+
+	banded := gen.Small(0, 60, 4, 17)
+	banded.RowGroups = bands
+
+	opt := Defaults()
+	opt.Workers = 2
+	viaOptions := opt
+	viaOptions.RowGroups = bands
+
+	solA, _, err := Solve(context.Background(), plain, viaOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solB, _, err := Solve(context.Background(), banded, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solA.WritingTime != solB.WritingTime ||
+		!reflect.DeepEqual(solA.Selected, solB.Selected) ||
+		!reflect.DeepEqual(solA.Placements, solB.Placements) {
+		t.Fatal("instance-level banding solved differently from option-level banding")
+	}
+
+	// And the banded solve must differ in configuration from the unbanded
+	// one in at least the candidacy sense: explicit options still override
+	// the instance's bands (an open band makes every row open again).
+	override := opt
+	override.RowGroups = []RowGroup{{Rows: nil, Regions: nil}}
+	solC, _, err := Solve(context.Background(), banded, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solPlain, _, err := Solve(context.Background(), plain, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solC.WritingTime != solPlain.WritingTime {
+		t.Fatalf("options override did not win over instance bands: T=%d vs unbanded T=%d",
+			solC.WritingTime, solPlain.WritingTime)
+	}
+}

@@ -9,6 +9,8 @@ package oned
 import (
 	"runtime"
 	"time"
+
+	"eblow/internal/core"
 )
 
 // LPBackend selects how the LP relaxation of formulation (4) is solved in
@@ -99,9 +101,10 @@ type Options struct {
 	// relaxation then becomes block-diagonal across disjoint row groups, and
 	// the planner detects the blocks (union-find over character-row
 	// candidacy) and solves them as independent sub-problems on the worker
-	// pool, merged in block index order. Nil keeps the shared-stencil
-	// semantics of the paper: every character may use every row and the
-	// relaxation is one monolithic problem.
+	// pool, merged in block index order. Nil falls back to the instance's
+	// own banding (core.Instance.RowGroups) when it has one; with neither,
+	// the shared-stencil semantics of the paper apply: every character may
+	// use every row and the relaxation is one monolithic problem.
 	RowGroups []RowGroup
 
 	// Backend selects the LP relaxation solver.
@@ -112,18 +115,15 @@ type Options struct {
 }
 
 // RowGroup pins a band of stencil rows to a set of wafer regions (the
-// stencil band of one MCC column cell).
-type RowGroup struct {
-	// Rows lists the stencil row indices of the group.
-	Rows []int
-	// Regions lists the wafer regions whose characters may use the group's
-	// rows. An empty list leaves the group's rows open to every character.
-	Regions []int
-}
+// stencil band of one MCC column cell). It is the core model's type: bands
+// can live on the instance itself (serialized with it) or be passed
+// per-solve through Options.RowGroups.
+type RowGroup = core.RowGroup
 
 // maxRowGroups bounds the number of row groups so per-character candidacy
-// fits in one uint64 bitmask.
-const maxRowGroups = 64
+// fits in one uint64 bitmask. It is the core model's cap, so instances that
+// pass core validation never trip the solver-side check.
+const maxRowGroups = core.MaxRowGroups
 
 // Defaults returns the paper's parameter settings with E-BLOW-1 behaviour
 // (fast ILP convergence and post stages enabled).

@@ -72,6 +72,11 @@ func Solve(ctx context.Context, in *core.Instance, opt Options) (*core.Solution,
 		return nil, nil, fmt.Errorf("oned: instance %q is not a 1DOSP instance", in.Name)
 	}
 	opt = opt.withDefaults()
+	if len(opt.RowGroups) == 0 {
+		// An instance generated in per-column-cell-band mode carries its
+		// banding with it; explicit options still override.
+		opt.RowGroups = in.RowGroups
+	}
 
 	s, err := newSolver(ctx, in, opt)
 	if err != nil {

@@ -1,0 +1,203 @@
+package portfolio
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"eblow/internal/core"
+	"eblow/internal/gen"
+	"eblow/internal/learn"
+	"eblow/internal/solver"
+)
+
+// smallIn builds the small test instance both learned-race tests share.
+func smallIn(kind core.Kind) *core.Instance {
+	if kind == core.OneD {
+		return testInstance1D()
+	}
+	return testInstance2D()
+}
+
+func testInstance1D() *core.Instance {
+	return gen.Small(core.OneD, 60, 3, 11)
+}
+
+func testInstance2D() *core.Instance {
+	return gen.Small(core.TwoD, 40, 2, 12)
+}
+
+// The acceptance contract of learned scheduling: with an empty store the
+// race plan, winner and objective are bit-identical to the static registry
+// race for a fixed seed.
+func TestEmptyStoreRaceIsBitIdenticalToStatic(t *testing.T) {
+	for _, kind := range []core.Kind{core.OneD, core.TwoD} {
+		in := smallIn(kind)
+		static, err := Solve(context.Background(), in, Options{Seed: 7, Restarts: 2})
+		if err != nil {
+			t.Fatalf("%s static: %v", kind, err)
+		}
+		learned, err := Solve(context.Background(), in, Options{Seed: 7, Restarts: 2, Learn: learn.NewStore()})
+		if err != nil {
+			t.Fatalf("%s learned: %v", kind, err)
+		}
+
+		if learned.Plan == nil || learned.Plan.Learned {
+			t.Fatalf("%s: empty store produced plan %+v, want cold", kind, learned.Plan)
+		}
+		if learned.Winner != static.Winner {
+			t.Errorf("%s: winner %s != static %s", kind, learned.Winner, static.Winner)
+		}
+		if learned.Best.WritingTime != static.Best.WritingTime {
+			t.Errorf("%s: objective %d != static %d", kind, learned.Best.WritingTime, static.Best.WritingTime)
+		}
+		if !reflect.DeepEqual(learned.Best.Selected, static.Best.Selected) ||
+			!reflect.DeepEqual(learned.Best.Placements, static.Best.Placements) {
+			t.Errorf("%s: plan differs from the static race", kind)
+		}
+		staticNames := make([]string, len(static.Runs))
+		for i, r := range static.Runs {
+			staticNames[i] = r.Name
+		}
+		if !reflect.DeepEqual(learned.Plan.Order, staticNames) {
+			t.Errorf("%s: cold plan order %v != static race order %v", kind, learned.Plan.Order, staticNames)
+		}
+	}
+}
+
+// A store warmed with races where one heavy entrant never wins must prune
+// that entrant from subsequent races of the same shape.
+func TestWarmedStorePrunesNeverWinningHeavyEntrant(t *testing.T) {
+	in := testInstance2D() // 2D race: two heavy entrants (eblow, sa24) + greedy
+	store := learn.NewStore()
+
+	var winner string
+	for i := 0; i < learn.DefaultMinRaces; i++ {
+		res, err := Solve(context.Background(), in, Options{Seed: 7, Restarts: 2, Learn: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		winner = res.Winner
+	}
+	// The race is deterministic, so one heavy entrant won every recorded
+	// race and the other never did.
+	loser := "sa24"
+	if winner == "sa24" {
+		loser = "eblow"
+	}
+
+	res, err := Solve(context.Background(), in, Options{Seed: 7, Restarts: 2, Learn: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || !res.Plan.Learned {
+		t.Fatalf("plan not learned after %d recorded races", learn.DefaultMinRaces)
+	}
+	if !reflect.DeepEqual(res.Plan.Pruned, []string{loser}) {
+		t.Fatalf("pruned = %v, want [%s]", res.Plan.Pruned, loser)
+	}
+	for _, r := range res.Runs {
+		if r.Name == loser {
+			t.Fatalf("pruned entrant %s still raced", loser)
+		}
+	}
+	if res.Plan.Order[0] != winner {
+		t.Fatalf("learned order %v does not lead with the winner %s", res.Plan.Order, winner)
+	}
+	if res.Winner != winner || res.Best == nil {
+		t.Fatalf("learned race winner %s, want %s", res.Winner, winner)
+	}
+}
+
+// The full acceptance round trip: record races, persist the store, reload
+// it, and plan — the reloaded plan matches the in-memory one. Run with
+// -race in CI.
+func TestLearnedRoundTripRecordPersistReloadPlan(t *testing.T) {
+	in := testInstance2D()
+	path := filepath.Join(t.TempDir(), "learn.json")
+	store, err := learn.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < learn.DefaultMinRaces; i++ {
+		if _, err := Solve(context.Background(), in, Options{Seed: 7, Restarts: 2, Learn: store}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := Solve(context.Background(), in, Options{Seed: 7, Restarts: 2, Learn: store, NoRecord: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	reloaded, err := learn.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Solve(context.Background(), in, Options{Seed: 7, Restarts: 2, Learn: reloaded, NoRecord: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Plan, before.Plan) {
+		t.Fatalf("reloaded plan differs:\nbefore %+v\nafter  %+v", before.Plan, after.Plan)
+	}
+	if after.Winner != before.Winner || after.Best.WritingTime != before.Best.WritingTime {
+		t.Fatalf("reloaded race (%s, T=%d) differs from in-memory (%s, T=%d)",
+			after.Winner, after.Best.WritingTime, before.Winner, before.Best.WritingTime)
+	}
+}
+
+// NoRecord consults the plan without mutating the store.
+func TestNoRecordLeavesStoreUntouched(t *testing.T) {
+	in := testInstance1D()
+	store := learn.NewStore()
+	if _, err := Solve(context.Background(), in, Options{Seed: 1, Learn: store, NoRecord: true}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Dirty() {
+		t.Fatal("NoRecord race recorded an outcome")
+	}
+	if _, err := Solve(context.Background(), in, Options{Seed: 1, Learn: store}); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Dirty() {
+		t.Fatal("recording race left the store clean")
+	}
+}
+
+// The registry strategy "portfolio" wires Params.LearnStore through to the
+// race and reports the plan on the unified Result.
+func TestRegistryPortfolioCarriesLearnStore(t *testing.T) {
+	in := testInstance1D()
+	store := learn.NewStore()
+	res, err := solver.Solve(context.Background(), "portfolio", in, solver.Params{Seed: 1, LearnStore: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("unified Result carries no learned plan")
+	}
+	if !store.Dirty() {
+		t.Fatal("registry race did not record into the shared store")
+	}
+}
+
+// A deadline-truncated learned race must not poison the store: recording
+// only happens for races that produced a winner, and the cheap entrants
+// still win under an expired deadline, so the recorded winner is a cheap
+// strategy rather than garbage.
+func TestLearnedRaceUnderDeadline(t *testing.T) {
+	in := gen.Small(core.OneD, 150, 4, 9)
+	store := learn.NewStore()
+	res, err := Solve(context.Background(), in, Options{Timeout: time.Nanosecond, Learn: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no incumbent under deadline")
+	}
+}

@@ -1,6 +1,7 @@
 // HTTP/JSON surface of the job service, mounted by cmd/eblowd:
 //
 //	GET    /v1/solvers            registered strategies
+//	GET    /v1/learn              learned-scheduling statistics snapshot
 //	POST   /v1/jobs               submit a job (benchmark name or inline instance)
 //	GET    /v1/jobs               list jobs in submission order
 //	GET    /v1/jobs/{id}          job status (compact result summary)
@@ -36,6 +37,17 @@ func NewHandler(m *Manager) http.Handler {
 			out = append(out, info{Name: e.Name, Doc: e.Doc, OneD: e.OneD, TwoD: e.TwoD, Racing: e.Racing})
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/learn", func(w http.ResponseWriter, r *http.Request) {
+		store := m.Learn()
+		if store == nil {
+			writeError(w, http.StatusNotFound, errors.New("service: learned scheduling is disabled (start the server with -learn-path)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"path":   store.Path(),
+			"shapes": store.Snapshot(),
+		})
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		spec, err := decodeSubmit(r)

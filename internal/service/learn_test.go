@@ -1,0 +1,86 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eblow"
+)
+
+// A manager with a learning store shares it across jobs: portfolio jobs
+// record their race outcomes and the manager persists the store after each
+// job, so a fresh Open sees the accumulated statistics.
+func TestManagerSharesAndPersistsLearnStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "learn.json")
+	store, err := eblow.OpenLearn(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 2, Learn: store})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	in := eblow.SmallInstance(eblow.OneD, 40, 2, 5)
+	for i := 0; i < 2; i++ {
+		status, err := m.Submit(JobSpec{Instance: in, Solver: "portfolio", Params: eblow.Params{Seed: int64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := waitTerminal(t, m, status.ID, 30*time.Second); s.State != StateDone {
+			t.Fatalf("portfolio job ended %s: %v", s.State, s.Err)
+		}
+	}
+
+	reloaded, err := eblow.OpenLearn(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := eblow.Fingerprint(in)
+	ss := reloaded.Shape(shape)
+	if ss == nil || ss.Races != 2 {
+		t.Fatalf("persisted stats for %s = %+v, want 2 recorded races", shape, ss)
+	}
+
+	// The stats endpoint mirrors the store.
+	code, body := getJSON(t, srv.URL+"/v1/learn")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/learn = %d: %v", code, body)
+	}
+	shapes, ok := body["shapes"].(map[string]any)
+	if !ok || shapes[shape.Key()] == nil {
+		t.Fatalf("stats snapshot misses shape %s: %v", shape.Key(), body)
+	}
+	if body["path"] != path {
+		t.Fatalf("stats path = %v, want %s", body["path"], path)
+	}
+
+	// Non-portfolio jobs must leave the store untouched.
+	before := reloaded.Shape(shape).Races
+	status, err := m.Submit(JobSpec{Instance: in, Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, m, status.ID, 30*time.Second); s.State != StateDone {
+		t.Fatalf("greedy job ended %s: %v", s.State, s.Err)
+	}
+	again, err := eblow.OpenLearn(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Shape(shape).Races; got != before {
+		t.Fatalf("greedy job changed recorded races: %d -> %d", before, got)
+	}
+}
+
+// Without a store the stats endpoint reports 404, not an empty snapshot.
+func TestLearnEndpointDisabled(t *testing.T) {
+	_, srv := newTestServer(t, 1)
+	code, body := getJSON(t, srv.URL+"/v1/learn")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /v1/learn without a store = %d: %v", code, body)
+	}
+}

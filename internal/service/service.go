@@ -63,6 +63,13 @@ type Config struct {
 	// which the HTTP layer maps to 429 Too Many Requests — backpressure
 	// instead of an unbounded queue under overload. 0 means no bound.
 	MaxPending int
+	// Learn is the optional learned-scheduling store shared by every job:
+	// portfolio jobs consult it for their race plan and record their
+	// outcome back, so the server's race scheduling improves as traffic
+	// accumulates. The manager saves the store after each job that recorded
+	// into it; GET /v1/learn exposes a statistics snapshot. Nil disables
+	// learning (cmd/eblowd enables it with -learn-path).
+	Learn *eblow.LearnStore
 }
 
 // JobSpec describes one solve to enqueue.
@@ -337,6 +344,13 @@ func (m *Manager) run(j *job) {
 	ctx, spec := j.ctx, j.spec
 	m.mu.Unlock()
 
+	// The shared learning store rides along on every job; only the
+	// portfolio strategy consults it, and the manager owns persistence
+	// (the race records in memory, saveLearn below writes the file).
+	if m.cfg.Learn != nil {
+		spec.Params.LearnStore = m.cfg.Learn
+	}
+
 	// An explicit solver name runs that exact strategy — "portfolio" with a
 	// restricted Params.Strategies stays a race (per-entrant seed offsets,
 	// populated Runs) rather than collapsing to a bare single-strategy
@@ -349,8 +363,13 @@ func (m *Manager) run(j *job) {
 		res, err = eblow.SolveWith(ctx, spec.Instance, spec.Params)
 	}
 
+	saveErr := m.saveLearn()
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if saveErr != nil {
+		m.appendEventLocked(j, "warning: saving learn store: "+saveErr.Error())
+	}
 	j.finished = time.Now()
 	j.cancel() // release the job's context resources
 	switch {
@@ -376,6 +395,18 @@ func (m *Manager) run(j *job) {
 			res.Strategy, res.Objective, res.Feasible, res.Elapsed.Round(time.Millisecond)))
 	}
 }
+
+// saveLearn persists the shared learning store if the finished job recorded
+// a race outcome into it. Never called under m.mu — the save does file IO.
+func (m *Manager) saveLearn() error {
+	if m.cfg.Learn == nil || !m.cfg.Learn.Dirty() {
+		return nil
+	}
+	return m.cfg.Learn.Save()
+}
+
+// Learn returns the shared learned-scheduling store (nil when disabled).
+func (m *Manager) Learn() *eblow.LearnStore { return m.cfg.Learn }
 
 // Status returns a snapshot of the job.
 func (m *Manager) Status(id string) (JobStatus, error) {
@@ -491,6 +522,10 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.baseCancel() // cancels every job context, queued slots drain as no-ops
 	m.pool.Close()
+	// Final best-effort flush of the learning store: the per-job saves
+	// already persisted every completed race, so at worst the outcome of a
+	// race that finished mid-shutdown is lost.
+	_ = m.saveLearn()
 }
 
 // appendEventLocked records an event on the job and wakes subscribers.

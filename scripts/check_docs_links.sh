@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fails when README.md, ROADMAP.md or docs/*.md contain a relative markdown
+# link whose target does not exist. External (http/mailto) and pure-anchor
+# links are skipped; anchors on relative links are stripped before the
+# existence check. Wired into CI so moved or renamed docs cannot leave
+# dangling references behind.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md ROADMAP.md docs/*.md; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  while IFS= read -r target; do
+    target="${target%% *}" # drop optional markdown link titles
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link in $f: ($target)"
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all relative doc links resolve"
+fi
+exit "$status"
