@@ -10,6 +10,20 @@
 // jobs are waiting new submissions are rejected with 429 Too Many Requests
 // instead of growing the queue without limit.
 //
+// With -wal the job queue is durable: every accepted job is fsynced to a
+// write-ahead log before the 202 ack, so a crash or kill -9 loses nothing —
+// on restart the log replays, unfinished jobs re-enqueue in their original
+// order (re-solving is deterministic for fixed seeds), finished jobs stay
+// readable as digest-only records, and the log compacts itself once it
+// outgrows -wal-max-bytes.
+//
+// With -auth-keys every request must present an API key from the given file
+// (one "name secret [readonly] [pending=N] [rate=R] [burst=B]" per line)
+// via "Authorization: Bearer <secret>" or "X-API-Key": unknown keys get
+// 401, read-only keys get 403 on mutating methods, and each key is bounded
+// by a token-bucket request rate plus a pending-job quota (both 429). The
+// key's name is stamped into job records, events and the WAL.
+//
 // With -learn-path the server keeps one learned-scheduling store shared by
 // every job: portfolio races are reordered and pruned by the accumulated
 // per-shape win rates, every race outcome is recorded back, and the store
@@ -58,11 +72,14 @@ func main() {
 	log.SetPrefix("eblowd: ")
 
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for a random free port)")
-		workers    = flag.Int("workers", runtime.NumCPU(), "worker pool size shared by every submitted job")
-		recordTTL  = flag.Duration("record-ttl", time.Hour, "how long finished job records stay readable (0 keeps them forever)")
-		maxPending = flag.Int("max-pending", 1024, "max queued jobs before submissions are rejected with 429 (0 = unbounded)")
-		learnPath  = flag.String("learn-path", "", "JSON store for learned portfolio scheduling, shared across all jobs and persisted after each race (\"\" disables learning)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for a random free port)")
+		workers     = flag.Int("workers", runtime.NumCPU(), "worker pool size shared by every submitted job")
+		recordTTL   = flag.Duration("record-ttl", time.Hour, "how long finished job records stay readable (0 keeps them forever)")
+		maxPending  = flag.Int("max-pending", 1024, "max queued jobs before submissions are rejected with 429 (0 = unbounded)")
+		learnPath   = flag.String("learn-path", "", "JSON store for learned portfolio scheduling, shared across all jobs and persisted after each race (\"\" disables learning)")
+		walPath     = flag.String("wal", "", "durable write-ahead job log: accepted jobs are fsynced before the ack and replayed on restart (\"\" disables durability)")
+		walMaxBytes = flag.Int64("wal-max-bytes", service.DefaultWALMaxBytes, "compact the WAL to a live-job snapshot once it exceeds this size")
+		authKeys    = flag.String("auth-keys", "", "API key file (one \"name secret [readonly] [pending=N] [rate=R] [burst=B]\" per line); \"\" serves unauthenticated")
 	)
 	flag.Parse()
 
@@ -75,12 +92,38 @@ func main() {
 		log.Printf("learned scheduling on, store %s", *learnPath)
 	}
 
-	m := service.New(service.Config{Workers: *workers, RecordTTL: *recordTTL, MaxPending: *maxPending, Learn: store})
+	var wal *service.WAL
+	if *walPath != "" {
+		var err error
+		if wal, err = service.OpenWAL(*walPath, *walMaxBytes); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m := service.New(service.Config{Workers: *workers, RecordTTL: *recordTTL, MaxPending: *maxPending, Learn: store, WAL: wal})
+	if wal != nil {
+		// New consumed the log: report what the replay found (the chaos
+		// test greps this line).
+		s := wal.Stats()
+		log.Printf("wal %s: %d records, %d jobs resumed, %d terminal records restored, %d lines skipped",
+			*walPath, s.Records, s.Resumed, s.Terminal, s.SkippedLines)
+	}
+
+	handler := http.Handler(service.NewHandler(m))
+	if *authKeys != "" {
+		keyring, err := service.LoadKeyring(*authKeys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("auth on, %d API keys from %s", keyring.Len(), *authKeys)
+		handler = keyring.Wrap(handler)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: service.NewHandler(m)}
+	srv := &http.Server{Handler: handler}
 
 	// Ctrl-C / SIGINT drains in-flight requests, cancels running jobs and
 	// exits instead of dropping connections mid-response.

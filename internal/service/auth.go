@@ -1,0 +1,258 @@
+// API-key auth for the service's HTTP surface: static keys loaded from a
+// file, a per-key token-bucket rate limit enforced in the middleware, and a
+// per-key pending-job quota enforced by Manager.Submit. The middleware maps
+// the outcomes onto the HTTP layer's error contract:
+//
+//	401 Unauthorized       missing or unknown key
+//	403 Forbidden          read-only key on a mutating method
+//	429 Too Many Requests  rate limit exceeded, or (from Submit) the key's
+//	                       pending-job quota is full
+//
+// The authenticated identity travels with the request context; the HTTP
+// layer stamps it into the job spec, so it appears in statuses, progress
+// events and WAL records.
+package service
+
+import (
+	"bufio"
+	"context"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Per-key defaults; a key file line overrides them with pending=N, rate=R
+// and burst=B fields (0 means unlimited).
+const (
+	// DefaultKeyPending is a key's pending-job quota: how many of its jobs
+	// may wait in the queue at once.
+	DefaultKeyPending = 64
+	// DefaultKeyRate is a key's sustained request rate in requests/second.
+	DefaultKeyRate = 50
+	// DefaultKeyBurst is a key's token-bucket capacity.
+	DefaultKeyBurst = 100
+)
+
+// minSecretLen rejects trivially guessable secrets at load time.
+const minSecretLen = 8
+
+// AuthKey is one authenticated API identity.
+type AuthKey struct {
+	// Name identifies the key in job records, events and WAL records. The
+	// secret itself never appears in any of them.
+	Name string
+	// Secret is the bearer token presented by the client.
+	Secret string
+	// ReadOnly keys may only use GET/HEAD; mutating methods get 403.
+	ReadOnly bool
+	// MaxPending bounds the key's jobs waiting in the queue (0 = no bound).
+	MaxPending int
+	// Rate and Burst parameterize the key's token bucket (Rate 0 disables
+	// rate limiting for the key).
+	Rate, Burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// allow takes one token from the key's bucket, refilling by elapsed time.
+func (k *AuthKey) allow(now time.Time) bool {
+	if k.Rate <= 0 {
+		return true
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.last.IsZero() {
+		k.tokens += now.Sub(k.last).Seconds() * k.Rate
+	} else {
+		k.tokens = k.Burst
+	}
+	if k.tokens > k.Burst {
+		k.tokens = k.Burst
+	}
+	k.last = now
+	if k.tokens < 1 {
+		return false
+	}
+	k.tokens--
+	return true
+}
+
+// Keyring holds the static API keys the middleware authenticates against.
+type Keyring struct {
+	keys []*AuthKey // lookup iterates: constant-time compare per secret
+}
+
+// Len returns the number of loaded keys.
+func (kr *Keyring) Len() int { return len(kr.keys) }
+
+// LoadKeyring reads a key file. Format: one key per line,
+//
+//	# comment
+//	<name> <secret> [readonly] [pending=N] [rate=R] [burst=B]
+//
+// Names and secrets must be unique, secrets at least 8 characters. The
+// optional fields override the per-key defaults; an explicit 0 means
+// unlimited.
+func LoadKeyring(path string) (*Keyring, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening key file: %w", err)
+	}
+	defer f.Close()
+	kr, err := ParseKeyring(f)
+	if err != nil {
+		return nil, fmt.Errorf("service: key file %s: %w", path, err)
+	}
+	return kr, nil
+}
+
+// ParseKeyring parses key file content (see LoadKeyring for the format).
+func ParseKeyring(r io.Reader) (*Keyring, error) {
+	kr := &Keyring{}
+	names := make(map[string]bool)
+	secrets := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: need \"<name> <secret> [options]\"", lineNo)
+		}
+		k := &AuthKey{
+			Name:       fields[0],
+			Secret:     fields[1],
+			MaxPending: DefaultKeyPending,
+			Rate:       DefaultKeyRate,
+			Burst:      DefaultKeyBurst,
+		}
+		if len(k.Secret) < minSecretLen {
+			return nil, fmt.Errorf("line %d: secret for %q is shorter than %d characters", lineNo, k.Name, minSecretLen)
+		}
+		if names[k.Name] {
+			return nil, fmt.Errorf("line %d: duplicate key name %q", lineNo, k.Name)
+		}
+		if secrets[k.Secret] {
+			return nil, fmt.Errorf("line %d: duplicate secret (key %q)", lineNo, k.Name)
+		}
+		for _, opt := range fields[2:] {
+			if err := parseKeyOption(k, opt); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+		names[k.Name], secrets[k.Secret] = true, true
+		kr.keys = append(kr.keys, k)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(kr.keys) == 0 {
+		return nil, errors.New("no keys defined")
+	}
+	return kr, nil
+}
+
+func parseKeyOption(k *AuthKey, opt string) error {
+	if opt == "readonly" {
+		k.ReadOnly = true
+		return nil
+	}
+	name, value, ok := strings.Cut(opt, "=")
+	if !ok {
+		return fmt.Errorf("unknown key option %q", opt)
+	}
+	switch name {
+	case "pending":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad pending=%q (want an integer >= 0)", value)
+		}
+		k.MaxPending = n
+	case "rate", "burst":
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("bad %s=%q (want a number >= 0)", name, value)
+		}
+		if name == "rate" {
+			k.Rate = f
+		} else {
+			k.Burst = f
+		}
+	default:
+		return fmt.Errorf("unknown key option %q", opt)
+	}
+	return nil
+}
+
+// lookup resolves a presented secret, comparing every key in constant time
+// so the response latency leaks nothing about near-matches.
+func (kr *Keyring) lookup(secret string) *AuthKey {
+	if secret == "" {
+		return nil
+	}
+	var found *AuthKey
+	for _, k := range kr.keys {
+		if subtle.ConstantTimeCompare([]byte(k.Secret), []byte(secret)) == 1 {
+			found = k
+		}
+	}
+	return found
+}
+
+// authKeyCtx keys the authenticated identity in a request context.
+type authKeyCtx struct{}
+
+// KeyFromContext returns the authenticated key of the request, or nil when
+// the server runs without auth.
+func KeyFromContext(ctx context.Context) *AuthKey {
+	k, _ := ctx.Value(authKeyCtx{}).(*AuthKey)
+	return k
+}
+
+// requestSecret extracts the presented key: "Authorization: Bearer <secret>"
+// or the "X-API-Key" header.
+func requestSecret(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if secret, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(secret)
+		}
+		return ""
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// Wrap guards a handler with the keyring: every request must authenticate,
+// read-only keys cannot mutate, and each key is rate limited by its token
+// bucket. The authenticated identity is attached to the request context for
+// the handler to stamp into job records.
+func (kr *Keyring) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := kr.lookup(requestSecret(r))
+		if key == nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="eblowd"`)
+			writeError(w, http.StatusUnauthorized, errors.New("service: missing or unknown API key"))
+			return
+		}
+		if key.ReadOnly && r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusForbidden, fmt.Errorf("service: key %q is read-only", key.Name))
+			return
+		}
+		if !key.allow(time.Now()) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, fmt.Errorf("service: key %q exceeded its request rate", key.Name))
+			return
+		}
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), authKeyCtx{}, key)))
+	})
+}

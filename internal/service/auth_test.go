@@ -1,0 +1,265 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eblow"
+)
+
+func TestParseKeyring(t *testing.T) {
+	kr, err := ParseKeyring(strings.NewReader(`
+# ops team
+alice alice-secret-1
+bob   bob-secret-22 readonly
+carol carol-secret-3 pending=2 rate=1 burst=1
+dave  dave-secret-44 pending=0 rate=0
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.Len() != 4 {
+		t.Fatalf("parsed %d keys, want 4", kr.Len())
+	}
+	alice := kr.lookup("alice-secret-1")
+	if alice == nil || alice.Name != "alice" {
+		t.Fatalf("lookup alice: %+v", alice)
+	}
+	if alice.ReadOnly || alice.MaxPending != DefaultKeyPending || alice.Rate != DefaultKeyRate {
+		t.Errorf("alice should have the defaults: %+v", alice)
+	}
+	if bob := kr.lookup("bob-secret-22"); bob == nil || !bob.ReadOnly {
+		t.Errorf("bob should be read-only: %+v", bob)
+	}
+	if carol := kr.lookup("carol-secret-3"); carol == nil || carol.MaxPending != 2 || carol.Rate != 1 || carol.Burst != 1 {
+		t.Errorf("carol's overrides lost: %+v", carol)
+	}
+	// Explicit 0 means unlimited.
+	if dave := kr.lookup("dave-secret-44"); dave == nil || dave.MaxPending != 0 || dave.Rate != 0 {
+		t.Errorf("dave's explicit zeros lost: %+v", dave)
+	}
+	if kr.lookup("no-such-secret") != nil || kr.lookup("") != nil {
+		t.Error("unknown or empty secret resolved to a key")
+	}
+}
+
+func TestParseKeyringRejects(t *testing.T) {
+	for name, content := range map[string]string{
+		"empty file":       "# only a comment\n",
+		"missing secret":   "alice\n",
+		"short secret":     "alice short\n",
+		"duplicate name":   "alice alice-secret-1\nalice other-secret-2\n",
+		"duplicate secret": "alice same-secret-1\nbob same-secret-1\n",
+		"unknown option":   "alice alice-secret-1 admin\n",
+		"bad pending":      "alice alice-secret-1 pending=-1\n",
+		"bad rate":         "alice alice-secret-1 rate=fast\n",
+	} {
+		if _, err := ParseKeyring(strings.NewReader(content)); err == nil {
+			t.Errorf("%s: accepted %q", name, content)
+		}
+	}
+}
+
+// newAuthServer wires a keyring-wrapped handler around a fresh manager.
+func newAuthServer(t *testing.T, keyfile string) (*Manager, *httptest.Server) {
+	t.Helper()
+	kr, err := ParseKeyring(strings.NewReader(keyfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 1})
+	srv := httptest.NewServer(kr.Wrap(NewHandler(m)))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return m, srv
+}
+
+func authedReq(t *testing.T, method, url, secret, body string) *http.Response {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secret != "" {
+		req.Header.Set("Authorization", "Bearer "+secret)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestAuthMiddleware(t *testing.T) {
+	_, srv := newAuthServer(t, `
+writer writer-secret-1
+viewer viewer-secret-2 readonly
+`)
+
+	// No key and a wrong key are both 401, with a challenge header.
+	for _, secret := range []string{"", "wrong-secret-9"} {
+		resp := authedReq(t, http.MethodGet, srv.URL+"/v1/jobs", secret, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("secret %q: %d, want 401", secret, resp.StatusCode)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Error("401 without a WWW-Authenticate challenge")
+		}
+	}
+
+	// The X-API-Key header authenticates too.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs", nil)
+	req.Header.Set("X-API-Key", "viewer-secret-2")
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("X-API-Key auth: %d, want 200", resp.StatusCode)
+		}
+	}
+
+	// A read-only key can read but not mutate.
+	resp := authedReq(t, http.MethodPost, srv.URL+"/v1/jobs", "viewer-secret-2", `{"benchmark": "1T-1", "solver": "greedy"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("read-only POST: %d, want 403", resp.StatusCode)
+	}
+
+	// A writer key submits, and the job carries its identity.
+	resp = authedReq(t, http.MethodPost, srv.URL+"/v1/jobs", "writer-secret-1", `{"benchmark": "1T-1", "solver": "greedy"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("writer POST: %d, want 202", resp.StatusCode)
+	}
+	var job map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job["key"] != "writer" {
+		t.Errorf("job not stamped with the key name: %v", job)
+	}
+}
+
+// A key's token bucket must 429 once drained and refill over time.
+func TestAuthRateLimit(t *testing.T) {
+	_, srv := newAuthServer(t, "burst burst-secret-1 rate=5 burst=2\n")
+
+	codes := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp := authedReq(t, http.MethodGet, srv.URL+"/v1/jobs", "burst-secret-1", "")
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	if codes[0] != http.StatusOK || codes[1] != http.StatusOK || codes[2] != http.StatusTooManyRequests {
+		t.Fatalf("burst of 3 returned %v, want [200 200 429]", codes)
+	}
+	// At 5 tokens/s a token is back within a second.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := authedReq(t, http.MethodGet, srv.URL+"/v1/jobs", "burst-secret-1", "")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// The per-key pending-job quota bounds one tenant without touching others.
+func TestKeyPendingQuota(t *testing.T) {
+	orig := solveSpec
+	defer func() { solveSpec = orig }()
+	started := make(chan struct{}, 1)
+	solveSpec = func(ctx context.Context, spec JobSpec) (*eblow.Result, error) {
+		if spec.Label == "blocker" {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return orig(ctx, spec)
+	}
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	// Pin the worker so later submissions stay queued.
+	if _, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 20, 2, 1), Solver: "greedy", Label: "blocker"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	spec := func(key string, seed int64) JobSpec {
+		return JobSpec{
+			Instance: eblow.SmallInstance(eblow.OneD, 20, 2, seed), Solver: "greedy",
+			Key: key, KeyPending: 1,
+		}
+	}
+	first, err := m.Submit(spec("tenant-a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(spec("tenant-a", 3)); !errors.Is(err, ErrKeyQuota) {
+		t.Fatalf("over-quota submit: %v, want ErrKeyQuota", err)
+	}
+	// Another key has its own quota.
+	if _, err := m.Submit(spec("tenant-b", 4)); err != nil {
+		t.Fatalf("tenant-b blocked by tenant-a's quota: %v", err)
+	}
+	// Cancelling the queued job frees the quota slot.
+	if _, err := m.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(spec("tenant-a", 5)); err != nil {
+		t.Fatalf("quota slot not freed by cancel: %v", err)
+	}
+}
+
+// The quota surfaces as 429 on the wire, like the global queue bound.
+func TestHTTPKeyQuota429(t *testing.T) {
+	orig := solveSpec
+	defer func() { solveSpec = orig }()
+	started := make(chan struct{}, 1)
+	solveSpec = func(ctx context.Context, spec JobSpec) (*eblow.Result, error) {
+		if spec.Label == "blocker" {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return orig(ctx, spec)
+	}
+	_, srv := newAuthServer(t, "tenant tenant-secret-1 pending=1\n")
+
+	post := func(body string) int {
+		resp := authedReq(t, http.MethodPost, srv.URL+"/v1/jobs", "tenant-secret-1", body)
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"benchmark": "1T-1", "solver": "greedy", "label": "blocker"}`); code != http.StatusAccepted {
+		t.Fatalf("blocker submit: %d", code)
+	}
+	<-started
+	if code := post(`{"benchmark": "1T-1", "solver": "greedy"}`); code != http.StatusAccepted {
+		t.Fatalf("first queued submit: %d", code)
+	}
+	if code := post(`{"benchmark": "1T-1", "solver": "greedy"}`); code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d, want 429", code)
+	}
+}

@@ -8,6 +8,10 @@
 //	GET    /v1/jobs/{id}/result   full result including the stencil plan
 //	GET    /v1/jobs/{id}/events   NDJSON progress stream until terminal
 //	DELETE /v1/jobs/{id}          cancel
+//
+// The handler itself is unauthenticated; cmd/eblowd wraps it with
+// Keyring.Wrap when started with -auth-keys, which adds the 401/403/429
+// auth semantics documented in auth.go.
 package service
 
 import (
@@ -55,15 +59,23 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		if key := KeyFromContext(r.Context()); key != nil {
+			spec.Key = key.Name
+			spec.KeyPending = key.MaxPending
+		}
 		status, err := m.Submit(spec)
 		if err != nil {
 			code := http.StatusBadRequest
 			switch {
 			case errors.Is(err, ErrClosed):
 				code = http.StatusServiceUnavailable
-			case errors.Is(err, ErrQueueFull):
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrKeyQuota):
 				// Backpressure, not failure: the client should retry later.
 				code = http.StatusTooManyRequests
+			case errors.Is(err, ErrNotDurable):
+				// The job is queued but its WAL record could not be synced;
+				// the ack must not promise durability it cannot keep.
+				code = http.StatusInternalServerError
 			}
 			writeError(w, code, err)
 			return
@@ -173,20 +185,50 @@ func decodeSubmit(r *http.Request) (JobSpec, error) {
 	default:
 		return JobSpec{}, errors.New("service: one of benchmark or instance is required")
 	}
-	p := eblow.Params{
-		Workers:    req.Params.Workers,
-		Seed:       req.Params.Seed,
-		Restarts:   req.Params.Restarts,
-		Strategies: req.Params.Strategies,
+	p, err := req.Params.params()
+	if err != nil {
+		return JobSpec{}, err
 	}
-	if req.Params.Deadline != "" {
-		d, err := time.ParseDuration(req.Params.Deadline)
+	return JobSpec{Instance: in, Solver: req.Solver, Params: p, Label: req.Label}, nil
+}
+
+// maxWireSeed caps submitted seeds: racing entrants add per-strategy
+// offsets to the seed, and the cap leaves headroom so the sub-seed
+// derivation can never overflow int64.
+const maxWireSeed = int64(1) << 62
+
+// params validates the wire fields and converts them to solver parameters.
+// Negative or overflow-prone values are rejected here, at decode time, with
+// a field-naming error — they would otherwise queue a doomed (negative
+// deadline: instant expiry) or nonsensical (negative workers/restarts/seed)
+// job that only fails once a worker picks it up.
+func (wp wireParams) params() (eblow.Params, error) {
+	if wp.Workers < 0 {
+		return eblow.Params{}, fmt.Errorf("service: params.workers must be >= 0, got %d", wp.Workers)
+	}
+	if wp.Restarts < 0 {
+		return eblow.Params{}, fmt.Errorf("service: params.restarts must be >= 0, got %d", wp.Restarts)
+	}
+	if wp.Seed < 0 || wp.Seed >= maxWireSeed {
+		return eblow.Params{}, fmt.Errorf("service: params.seed must be in [0, 2^62), got %d", wp.Seed)
+	}
+	p := eblow.Params{
+		Workers:    wp.Workers,
+		Seed:       wp.Seed,
+		Restarts:   wp.Restarts,
+		Strategies: wp.Strategies,
+	}
+	if wp.Deadline != "" {
+		d, err := time.ParseDuration(wp.Deadline)
 		if err != nil {
-			return JobSpec{}, fmt.Errorf("service: bad deadline: %w", err)
+			return eblow.Params{}, fmt.Errorf("service: bad params.deadline: %w", err)
+		}
+		if d <= 0 {
+			return eblow.Params{}, fmt.Errorf("service: params.deadline must be positive, got %s", wp.Deadline)
 		}
 		p.Deadline = d
 	}
-	return JobSpec{Instance: in, Solver: req.Solver, Params: p, Label: req.Label}, nil
+	return p, nil
 }
 
 // jobJSON renders a status for the wire; full additionally inlines the
@@ -204,6 +246,12 @@ func jobJSON(s JobStatus, full bool) map[string]any {
 	if s.Label != "" {
 		out["label"] = s.Label
 	}
+	if s.Key != "" {
+		out["key"] = s.Key
+	}
+	if s.Replayed {
+		out["replayed"] = true
+	}
 	if !s.Started.IsZero() {
 		out["started"] = s.Started
 	}
@@ -219,7 +267,15 @@ func jobJSON(s JobStatus, full bool) map[string]any {
 			"objective": s.Result.Objective,
 			"feasible":  s.Result.Feasible,
 			"elapsedMs": s.Result.Elapsed.Milliseconds(),
-			"selected":  s.Result.Solution.NumSelected(),
+		}
+		if s.Result.Solution != nil {
+			// Guarded: a cancelled or deadline-expired job can carry a
+			// partial Result whose Solution is nil, and a terminal record
+			// replayed from the WAL never has the plan — only the digest.
+			res["selected"] = s.Result.Solution.NumSelected()
+		}
+		if s.Digest != "" {
+			res["digest"] = s.Digest
 		}
 		if len(s.Result.Runs) > 0 {
 			runs := make([]map[string]any, len(s.Result.Runs))

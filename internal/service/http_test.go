@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -232,6 +233,84 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 	if code, _ := getJSON(t, srv.URL+"/v1/jobs/none"); code != http.StatusNotFound {
 		t.Errorf("unknown job returned %d", code)
+	}
+}
+
+// Nonsense solver parameters must fail at decode time with a 400 that names
+// the offending field, not queue a doomed job.
+func TestHTTPParamValidation(t *testing.T) {
+	_, srv := newTestServer(t, 1)
+
+	cases := []struct {
+		body  string
+		field string
+	}{
+		{`{"benchmark": "1T-1", "params": {"workers": -1}}`, "params.workers"},
+		{`{"benchmark": "1T-1", "params": {"restarts": -3}}`, "params.restarts"},
+		{`{"benchmark": "1T-1", "params": {"seed": -7}}`, "params.seed"},
+		{`{"benchmark": "1T-1", "params": {"seed": 9223372036854775807}}`, "params.seed"},
+		{`{"benchmark": "1T-1", "params": {"deadline": "-5s"}}`, "params.deadline"},
+		{`{"benchmark": "1T-1", "params": {"deadline": "0s"}}`, "params.deadline"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s returned %d, want 400", tc.body, resp.StatusCode)
+			continue
+		}
+		if msg, _ := out["error"].(string); !strings.Contains(msg, tc.field) {
+			t.Errorf("body %s: error %q does not name %s", tc.body, msg, tc.field)
+		}
+	}
+}
+
+// Regression: rendering a terminal job whose Result carries a nil Solution
+// (a strategy that returns a bare summary when cancelled) must not panic the
+// handler — it used to dereference Result.Solution unconditionally.
+func TestHTTPNilSolutionResult(t *testing.T) {
+	orig := solveSpec
+	defer func() { solveSpec = orig }()
+	started := make(chan struct{}, 1)
+	solveSpec = func(ctx context.Context, spec JobSpec) (*eblow.Result, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		// Best-so-far bookkeeping without a plan: Solution stays nil.
+		return &eblow.Result{Strategy: "stub", Objective: 0, Feasible: false}, nil
+	}
+	_, srv := newTestServer(t, 1)
+
+	job := postJob(t, srv, `{"benchmark": "1T-1", "solver": "greedy"}`)
+	id := job["id"].(string)
+	<-started
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	final := pollDone(t, srv, id, 30*time.Second)
+	if final["state"] != "canceled" {
+		t.Fatalf("stubbed job state %v", final["state"])
+	}
+	result, ok := final["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("cancelled job dropped its partial result: %v", final)
+	}
+	if _, has := result["selected"]; has {
+		t.Errorf("nil-Solution result reports a selection count: %v", result)
+	}
+	// The full-result endpoint renders the same record without panicking.
+	if code, _ := getJSON(t, srv.URL+"/v1/jobs/"+id+"/result"); code != http.StatusOK {
+		t.Errorf("full result of a nil-Solution job returned %d", code)
 	}
 }
 

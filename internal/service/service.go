@@ -9,6 +9,14 @@
 // records, and Config.MaxPending rejects submissions (ErrQueueFull → HTTP
 // 429) once too many jobs are waiting.
 //
+// Two optional layers harden the service for real multi-user deployments:
+// Config.WAL (see wal.go) is a durable write-ahead job log — an
+// acknowledged submission survives kill -9, unfinished jobs are re-enqueued
+// on the next boot and re-solve to bit-identical results for fixed seeds —
+// and a Keyring (see auth.go) authenticates every HTTP request with static
+// API keys carrying per-key pending-job quotas and token-bucket rate
+// limits.
+//
 // The service schedules strategies through the unified solver API
 // (eblow.SolveWith), so every registered strategy — "eblow", the baselines,
 // "exact", "portfolio" — is available by name. Results are deterministic
@@ -70,6 +78,12 @@ type Config struct {
 	// into it; GET /v1/learn exposes a statistics snapshot. Nil disables
 	// learning (cmd/eblowd enables it with -learn-path).
 	Learn *eblow.LearnStore
+	// WAL is the durable job log (see OpenWAL); nil disables durability.
+	// The manager owns it from here on: New replays it (re-enqueueing every
+	// job that was accepted but not terminal), each job transition appends
+	// a record, Submit does not acknowledge a job before its accepted
+	// record is fsynced, and Close flushes and closes the log.
+	WAL *WAL
 }
 
 // JobSpec describes one solve to enqueue.
@@ -86,6 +100,14 @@ type JobSpec struct {
 	Params eblow.Params
 	// Label is an optional caller tag echoed in statuses and events.
 	Label string
+	// Key is the authenticated API identity that submitted the job (""
+	// when auth is disabled); it is stamped into statuses, events and WAL
+	// records. The HTTP layer fills it from the request's key.
+	Key string
+	// KeyPending bounds how many of this key's jobs may wait in the queue
+	// at once (0 = no per-key bound): Submit returns ErrKeyQuota once the
+	// bound is hit, mapped to 429 on the wire like the global MaxPending.
+	KeyPending int
 }
 
 // Event is one entry of a job's progress stream.
@@ -100,6 +122,9 @@ type Event struct {
 	State State `json:"state"`
 	// Message is a human-readable progress note.
 	Message string `json:"message,omitempty"`
+	// Key is the API identity that owns the job (omitted when auth is
+	// disabled).
+	Key string `json:"key,omitempty"`
 }
 
 // JobStatus is an immutable snapshot of one job.
@@ -114,10 +139,21 @@ type JobStatus struct {
 	Started   time.Time
 	Finished  time.Time
 	// Result is set once the job is done (and may carry a partial
-	// incumbent for a cancelled solve whose strategy returns best-so-far).
+	// incumbent for a cancelled or deadline-expired solve whose strategy
+	// returns best-so-far). For a terminal record replayed from the WAL the
+	// Result summary is present but Result.Solution is nil — the log keeps
+	// the digest, not the plan.
 	Result *eblow.Result
-	// Err reports why a failed or cancelled job carries no result.
+	// Err reports why a failed or cancelled job carries no (full) result.
 	Err error
+	// Key is the API identity that submitted the job ("" without auth).
+	Key string
+	// Digest fingerprints a completed result (see resultDigest): identical
+	// across a WAL replay and an uninterrupted run for a fixed seed.
+	Digest string
+	// Replayed marks a terminal record restored from the WAL, whose
+	// Result carries the summary and digest but no stencil plan.
+	Replayed bool
 }
 
 // job is the mutable record behind a JobStatus, guarded by Manager.mu.
@@ -128,6 +164,16 @@ type job struct {
 	result *eblow.Result
 	err    error
 
+	// instName and instKind duplicate the instance identity so a terminal
+	// record replayed from the WAL (whose full instance was dropped at
+	// compaction) still renders a complete status.
+	instName string
+	instKind eblow.Kind
+	// digest fingerprints a completed result (see resultDigest).
+	digest string
+	// replayed marks a digest-only terminal record restored from the WAL.
+	replayed bool
+
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -135,6 +181,10 @@ type job struct {
 	ctx             context.Context
 	cancel          context.CancelFunc
 	cancelRequested bool
+	// interrupted marks a running job cut off by Close: the in-memory
+	// record reads cancelled, but no terminal WAL record is written, so
+	// the accepted record replays the job on the next boot.
+	interrupted bool
 
 	events  []Event
 	changed chan struct{} // closed and replaced on every event append
@@ -150,6 +200,18 @@ var ErrClosed = errors.New("service: manager is closed")
 // waiting; the HTTP layer maps it to 429 Too Many Requests.
 var ErrQueueFull = errors.New("service: pending job queue is full")
 
+// ErrNotDurable is returned (wrapped, alongside a valid JobStatus) by
+// Submit when the job was queued but its accepted WAL record could not be
+// fsynced: the job will run, but would not survive a crash. The HTTP layer
+// maps it to 500.
+var ErrNotDurable = errors.New("service: accepted job is not durable")
+
+// ErrKeyQuota is returned by Submit when the submitting key already has
+// JobSpec.KeyPending jobs waiting; the HTTP layer maps it to 429 like
+// ErrQueueFull — per-key backpressure instead of one tenant filling the
+// shared queue.
+var ErrKeyQuota = errors.New("service: key's pending-job quota is full")
+
 // Manager queues jobs and drains them through one shared worker pool.
 type Manager struct {
 	pool *par.Pool
@@ -158,12 +220,13 @@ type Manager struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string
-	pending int // jobs in StateQueued
-	nextID  int
-	closed  bool
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string
+	pending    int            // jobs in StateQueued
+	keyPending map[string]int // StateQueued jobs per API key
+	nextID     int
+	closed     bool
 }
 
 // New starts a manager with cfg.Workers pool workers. A positive
@@ -180,11 +243,28 @@ func New(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+		keyPending: make(map[string]int),
+	}
+	if cfg.WAL != nil {
+		m.mu.Lock()
+		m.replayWALLocked()
+		m.mu.Unlock()
 	}
 	if cfg.RecordTTL > 0 {
 		go m.janitor()
 	}
 	return m
+}
+
+// keyPendingAddLocked adjusts the key's queued-job count. Callers hold m.mu.
+func (m *Manager) keyPendingAddLocked(j *job, delta int) {
+	if j.spec.Key == "" {
+		return
+	}
+	m.keyPending[j.spec.Key] += delta
+	if m.keyPending[j.spec.Key] <= 0 {
+		delete(m.keyPending, j.spec.Key)
+	}
 }
 
 // janitor periodically evicts expired terminal job records until Close.
@@ -240,7 +320,9 @@ func (m *Manager) Workers() int { return m.pool.Workers() }
 
 // Submit validates the spec, enqueues the job and returns its initial
 // status. The call never blocks on the queue: the job solves once a pool
-// worker is free, in FIFO order.
+// worker is free, in FIFO order. With a WAL configured, Submit waits for
+// the job's accepted record to be fsynced before returning (concurrent
+// submits share one fsync), so an acknowledged job survives any crash.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	if spec.Instance == nil {
 		return JobStatus{}, errors.New("service: job needs an instance")
@@ -264,11 +346,17 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		m.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, m.cfg.MaxPending)
 	}
+	if spec.Key != "" && spec.KeyPending > 0 && m.keyPending[spec.Key] >= spec.KeyPending {
+		m.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w (key %q, %d jobs waiting)", ErrKeyQuota, spec.Key, spec.KeyPending)
+	}
 	m.nextID++
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &job{
 		id:        fmt.Sprintf("j%d", m.nextID),
 		spec:      spec,
+		instName:  spec.Instance.Name,
+		instKind:  spec.Instance.Kind,
 		state:     StateQueued,
 		submitted: time.Now(),
 		ctx:       ctx,
@@ -278,13 +366,33 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.pending++
+	m.keyPendingAddLocked(j, 1)
 	m.appendEventLocked(j, "queued for "+solverLabel(spec))
+	// The accepted record is buffered under mu so the WAL's record order
+	// matches the queue order; the fsync wait happens after unlock.
+	var walErr error
+	if m.cfg.WAL != nil {
+		rec, err := m.walAccepted(j)
+		if err == nil {
+			err = m.cfg.WAL.append(rec)
+		}
+		walErr = err
+	}
 	status := m.statusLocked(j)
 	// Enqueue while still holding mu: Close sets closed under the same
 	// lock before closing the pool, so a submit that saw closed == false
 	// always reaches the pool before Close can shut it.
 	m.pool.Submit(func() { m.run(j) })
 	m.mu.Unlock()
+	if walErr == nil && m.cfg.WAL != nil {
+		walErr = m.cfg.WAL.Flush()
+	}
+	if walErr != nil {
+		// The job is already queued and will run; what failed is only the
+		// durability guarantee, and the submitter must know its ack is
+		// best-effort now.
+		return status, fmt.Errorf("%w: job %s: %v", ErrNotDurable, j.id, walErr)
+	}
 	return status, nil
 }
 
@@ -330,17 +438,38 @@ func solverLabel(spec JobSpec) string {
 	}
 }
 
+// solveSpec runs the spec's strategy under the unified contract. An
+// explicit solver name runs that exact strategy — "portfolio" with a
+// restricted Params.Strategies stays a race (per-entrant seed offsets,
+// populated Runs) rather than collapsing to a bare single-strategy solve.
+// Without a name, SolveWith's strategy-set dispatch applies. A package
+// variable so tests can inject stub strategies that exercise result/error
+// combinations the registered solvers never produce (partial incumbents
+// alongside an error, nil Solutions).
+var solveSpec = func(ctx context.Context, spec JobSpec) (*eblow.Result, error) {
+	if s, ok := eblow.Lookup(spec.Solver); spec.Solver != "" && ok {
+		return s.Solve(ctx, spec.Instance, spec.Params)
+	}
+	return eblow.SolveWith(ctx, spec.Instance, spec.Params)
+}
+
 // run executes one job on a pool worker.
 func (m *Manager) run(j *job) {
 	m.mu.Lock()
-	if j.state != StateQueued { // cancelled while queued
+	if j.state != StateQueued || m.closed {
+		// Cancelled while queued (Cancel already wrote the terminal WAL
+		// record), or the manager is shutting down — on shutdown the queued
+		// job's accepted WAL record stays the last word, so the next boot
+		// re-enqueues it instead of recording a spurious cancellation.
 		m.mu.Unlock()
 		return
 	}
 	j.state = StateRunning
 	m.pending--
+	m.keyPendingAddLocked(j, -1)
 	j.started = time.Now()
 	m.appendEventLocked(j, fmt.Sprintf("solving %s (%s, %d characters)", j.spec.Instance.Name, j.spec.Instance.Kind, j.spec.Instance.NumCharacters()))
+	m.walAppendLocked(j, walRecord{Op: walOpStarted, Job: j.id, Time: j.started, Key: j.spec.Key})
 	ctx, spec := j.ctx, j.spec
 	m.mu.Unlock()
 
@@ -351,17 +480,7 @@ func (m *Manager) run(j *job) {
 		spec.Params.LearnStore = m.cfg.Learn
 	}
 
-	// An explicit solver name runs that exact strategy — "portfolio" with a
-	// restricted Params.Strategies stays a race (per-entrant seed offsets,
-	// populated Runs) rather than collapsing to a bare single-strategy
-	// solve. Without a name, SolveWith's strategy-set dispatch applies.
-	var res *eblow.Result
-	var err error
-	if s, ok := eblow.Lookup(spec.Solver); spec.Solver != "" && ok {
-		res, err = s.Solve(ctx, spec.Instance, spec.Params)
-	} else {
-		res, err = eblow.SolveWith(ctx, spec.Instance, spec.Params)
-	}
+	res, err := solveSpec(ctx, spec)
 
 	saveErr := m.saveLearn()
 
@@ -373,7 +492,7 @@ func (m *Manager) run(j *job) {
 	j.finished = time.Now()
 	j.cancel() // release the job's context resources
 	switch {
-	case j.cancelRequested || (err != nil && errors.Is(err, context.Canceled)):
+	case j.cancelRequested || (err != nil && errors.Is(err, context.Canceled) && !j.interrupted):
 		// Strategies that return their best-so-far plan on cancellation
 		// (annealing, branch and bound) still hand us a result; keep it as
 		// a partial incumbent but report the job as cancelled.
@@ -384,16 +503,38 @@ func (m *Manager) run(j *job) {
 			j.err = context.Canceled
 		}
 		m.appendEventLocked(j, "cancelled")
+	case j.interrupted:
+		// Cut off by Close, not by the user: the in-memory record reads
+		// cancelled for the dying process, but no terminal WAL record is
+		// written — the accepted record replays the job on the next boot as
+		// if it had never started. A best-so-far incumbent returned with a
+		// nil error must not masquerade as a completed result either.
+		j.state = StateCanceled
+		j.result = res
+		j.err = context.Canceled
+		m.appendEventLocked(j, "interrupted by shutdown; the WAL replays the job on the next boot")
+		return
 	case err != nil:
+		// A deadline-expired strategy hands back its best-so-far incumbent
+		// just like a cancelled one; keep the partial plan instead of
+		// discarding it with the error, and report the cause in Err.
 		j.state = StateFailed
 		j.err = err
-		m.appendEventLocked(j, "failed: "+err.Error())
+		j.result = res
+		if errors.Is(err, context.DeadlineExceeded) && res != nil && res.Solution != nil {
+			m.appendEventLocked(j, "deadline expired: kept the best-so-far incumbent")
+		} else {
+			m.appendEventLocked(j, "failed: "+err.Error())
+		}
 	default:
 		j.state = StateDone
 		j.result = res
+		j.digest = resultDigest(j.instName, res)
 		m.appendEventLocked(j, fmt.Sprintf("done: strategy %s, writing time %d, feasible %v, %s",
 			res.Strategy, res.Objective, res.Feasible, res.Elapsed.Round(time.Millisecond)))
 	}
+	m.walAppendLocked(j, m.walTerminal(j))
+	m.maybeCompactWALLocked()
 }
 
 // saveLearn persists the shared learning store if the finished job recorded
@@ -446,10 +587,12 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	case StateQueued:
 		j.state = StateCanceled
 		m.pending--
+		m.keyPendingAddLocked(j, -1)
 		j.err = context.Canceled
 		j.finished = time.Now()
 		j.cancel()
 		m.appendEventLocked(j, "cancelled while queued")
+		m.walAppendLocked(j, m.walTerminal(j))
 	case StateRunning:
 		if !j.cancelRequested {
 			j.cancelRequested = true
@@ -505,18 +648,21 @@ func (m *Manager) Events(ctx context.Context, id string) (<-chan Event, error) {
 }
 
 // Close stops accepting jobs, cancels everything queued or running, waits
-// for the pool workers to finish and returns. Job records stay readable.
+// for the pool workers to finish, flushes and closes the WAL, and returns.
+// Job records stay readable. Idempotent: a second Close is a no-op. With a
+// WAL, interrupted work is not lost — queued jobs and running jobs cut off
+// mid-solve keep their accepted records as the log's last word, so a new
+// manager opened on the same WAL re-enqueues them.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		m.pool.Close()
 		return
 	}
 	m.closed = true
 	for _, j := range m.jobs {
 		if j.state == StateRunning {
-			j.cancelRequested = true
+			j.interrupted = true
 		}
 	}
 	m.mu.Unlock()
@@ -526,6 +672,9 @@ func (m *Manager) Close() {
 	// already persisted every completed race, so at worst the outcome of a
 	// race that finished mid-shutdown is lost.
 	_ = m.saveLearn()
+	if m.cfg.WAL != nil {
+		_ = m.cfg.WAL.Close()
+	}
 }
 
 // appendEventLocked records an event on the job and wakes subscribers.
@@ -537,6 +686,7 @@ func (m *Manager) appendEventLocked(j *job, message string) {
 		Time:    time.Now(),
 		State:   j.state,
 		Message: message,
+		Key:     j.spec.Key,
 	})
 	close(j.changed)
 	j.changed = make(chan struct{})
@@ -548,13 +698,16 @@ func (m *Manager) statusLocked(j *job) JobStatus {
 		ID:        j.id,
 		Label:     j.spec.Label,
 		Solver:    solverLabel(j.spec),
-		Instance:  j.spec.Instance.Name,
-		Kind:      j.spec.Instance.Kind,
+		Instance:  j.instName,
+		Kind:      j.instKind,
 		State:     j.state,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
 		Result:    j.result,
 		Err:       j.err,
+		Key:       j.spec.Key,
+		Digest:    j.digest,
+		Replayed:  j.replayed,
 	}
 }

@@ -329,6 +329,111 @@ func TestRecordTTLEviction(t *testing.T) {
 	}
 }
 
+// Close must be safe to call twice: the second call is a pure no-op, not a
+// double-close panic on the pool, contexts or WAL.
+func TestCloseIdempotent(t *testing.T) {
+	m := New(Config{Workers: 1})
+	s, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 1), Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, s.ID, 30*time.Second)
+	m.Close()
+	m.Close()
+	if _, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 20, 2, 2), Solver: "greedy"}); err != ErrClosed {
+		t.Errorf("submit after double close: %v", err)
+	}
+
+	// And with a WAL attached: the second Close must not re-close the log.
+	m2 := New(Config{Workers: 1, WAL: openTestWAL(t, t.TempDir()+"/jobs.wal")})
+	m2.Close()
+	m2.Close()
+}
+
+// An event subscriber attached while the janitor TTL-evicts the record must
+// still receive the full stream and a clean channel close — not a hang or a
+// send on a freed record.
+func TestEventSubscriberSurvivesTTLEviction(t *testing.T) {
+	m := New(Config{Workers: 1, RecordTTL: 50 * time.Millisecond})
+	defer m.Close()
+
+	s, err := m.Submit(JobSpec{Instance: eblow.SmallInstance(eblow.OneD, 30, 2, 3), Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe but do not read yet: the subscriber goroutine blocks on the
+	// unbuffered channel while the job finishes and the janitor evicts it.
+	ch, err := m.Events(context.Background(), s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, s.ID, 30*time.Second)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := m.Status(s.ID); errors.Is(err, ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("record never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Drain after eviction: every event must still arrive, ending terminal.
+	var events []Event
+	timeout := time.After(10 * time.Second)
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				if len(events) < 3 || !events[len(events)-1].State.Terminal() {
+					t.Fatalf("evicted job's stream incomplete: %v", events)
+				}
+				return
+			}
+			events = append(events, e)
+		case <-timeout:
+			t.Fatalf("stream never closed after eviction; got %v", events)
+		}
+	}
+}
+
+// A deadline-expired solve that hands back its best-so-far incumbent must
+// keep the partial result on the failed record instead of discarding it,
+// with the cause in Err.
+func TestDeadlineExpiryKeepsIncumbent(t *testing.T) {
+	in := eblow.SmallInstance(eblow.OneD, 30, 2, 4)
+	partial, err := eblow.SolveWith(context.Background(), in, eblow.Params{Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := solveSpec
+	defer func() { solveSpec = orig }()
+	solveSpec = func(ctx context.Context, spec JobSpec) (*eblow.Result, error) {
+		return partial, context.DeadlineExceeded
+	}
+
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	s, err := m.Submit(JobSpec{Instance: in, Solver: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, m, s.ID, 30*time.Second)
+	if done.State != StateFailed {
+		t.Fatalf("deadline-expired job finished %s", done.State)
+	}
+	if !errors.Is(done.Err, context.DeadlineExceeded) {
+		t.Errorf("Err = %v, want the deadline cause", done.Err)
+	}
+	if done.Result == nil || done.Result.Solution == nil {
+		t.Fatalf("best-so-far incumbent dropped: %+v", done.Result)
+	}
+	if done.Result.Objective != partial.Objective {
+		t.Errorf("incumbent objective %d, want %d", done.Result.Objective, partial.Objective)
+	}
+}
+
 // Once MaxPending jobs wait in the queue, Submit must reject with
 // ErrQueueFull; a freed slot accepts submissions again.
 func TestMaxPendingBound(t *testing.T) {

@@ -1,0 +1,681 @@
+// Durable write-ahead job log for the service: one NDJSON record per job
+// transition (accepted spec, started, terminal outcome), so a crashed or
+// killed server loses no accepted work. The manager appends records as jobs
+// move through their lifecycle and fsyncs them in batches (group commit: a
+// submit blocks until its accepted record is on disk, but concurrent
+// submits share one fsync). On boot the manager replays the log: jobs that
+// were accepted but never reached a terminal state are re-enqueued in their
+// original submission order — re-solving is deterministic for a fixed seed,
+// so a replayed job reproduces the result the uninterrupted run would have
+// produced — while terminal records become readable digest-only job records
+// (state, objective, result digest; the stencil plan itself is not logged).
+// Once the log outgrows its size threshold it is compacted to one snapshot
+// record per live job via an atomic temp-file + rename rewrite.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"eblow"
+)
+
+// WAL record ops, in lifecycle order.
+const (
+	walOpAccepted = "accepted"
+	walOpStarted  = "started"
+	walOpTerminal = "terminal"
+)
+
+// walFlushInterval bounds how long an appended record may sit in the buffer
+// before the background flusher fsyncs it; it is also the worst-case extra
+// latency a Submit pays for its durability guarantee.
+const walFlushInterval = 5 * time.Millisecond
+
+// DefaultWALMaxBytes is the compaction threshold used when OpenWAL is given
+// a non-positive one.
+const DefaultWALMaxBytes = 8 << 20
+
+// walParams is the persisted subset of eblow.Params: exactly the fields a
+// wire submission can carry. In-process extras (Options1D/2D overrides, an
+// injected LearnStore) are not serializable and do not survive a replay —
+// the manager re-attaches its own shared store when the job re-runs.
+type walParams struct {
+	Workers    int      `json:"workers,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	DeadlineNs int64    `json:"deadlineNs,omitempty"`
+	Restarts   int      `json:"restarts,omitempty"`
+	Strategies []string `json:"strategies,omitempty"`
+}
+
+func toWalParams(p eblow.Params) *walParams {
+	return &walParams{
+		Workers:    p.Workers,
+		Seed:       p.Seed,
+		DeadlineNs: int64(p.Deadline),
+		Restarts:   p.Restarts,
+		Strategies: p.Strategies,
+	}
+}
+
+func (p *walParams) params() eblow.Params {
+	if p == nil {
+		return eblow.Params{}
+	}
+	return eblow.Params{
+		Workers:    p.Workers,
+		Seed:       p.Seed,
+		Deadline:   time.Duration(p.DeadlineNs),
+		Restarts:   p.Restarts,
+		Strategies: p.Strategies,
+	}
+}
+
+// walRecord is one NDJSON line of the job log. Accepted records carry the
+// full spec (instance JSON included) so the job can re-run after a crash;
+// terminal records carry the identity fields plus the outcome so a
+// compacted log still renders a complete status without the accepted
+// record.
+type walRecord struct {
+	Op   string    `json:"op"`
+	Job  string    `json:"job"`
+	Time time.Time `json:"time"`
+
+	// Submission identity.
+	Key        string          `json:"key,omitempty"`
+	KeyPending int             `json:"keyPending,omitempty"`
+	Label      string          `json:"label,omitempty"`
+	Solver     string          `json:"solver,omitempty"`
+	Name       string          `json:"name,omitempty"`
+	Kind       string          `json:"kind,omitempty"`
+	Params     *walParams      `json:"params,omitempty"`
+	Instance   json.RawMessage `json:"instance,omitempty"`
+	Submitted  time.Time       `json:"submitted,omitempty"`
+
+	// Terminal outcome.
+	State     string `json:"state,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Strategy  string `json:"strategy,omitempty"`
+	Objective int64  `json:"objective,omitempty"`
+	Feasible  bool   `json:"feasible,omitempty"`
+	ElapsedMs int64  `json:"elapsedMs,omitempty"`
+	Digest    string `json:"digest,omitempty"`
+}
+
+// WALStats summarizes what a boot-time replay found in the log.
+type WALStats struct {
+	// Records is the number of well-formed records read at open.
+	Records int
+	// SkippedLines counts unparseable lines (typically one torn tail line
+	// after a hard kill mid-append); they are ignored, never fatal.
+	SkippedLines int
+	// Resumed is the number of non-terminal jobs the manager re-enqueued.
+	Resumed int
+	// Terminal is the number of digest-only terminal records restored.
+	Terminal int
+}
+
+// WAL is the durable job log. Open it with OpenWAL and hand it to
+// Config.WAL; the manager owns it from then on (replays it in New, appends
+// per-transition records, compacts it, and flushes + closes it in Close).
+type WAL struct {
+	path     string
+	maxBytes int64
+
+	mu           sync.Mutex
+	f            *os.File
+	w            *bufio.Writer
+	size         int64
+	dirty        bool
+	waiters      []chan error
+	closed       bool
+	compactFloor int64 // minimum size before the next compaction attempt
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	replay []walRecord // parsed at open, consumed once by Manager.New
+	stats  WALStats
+}
+
+// ErrWALClosed is returned by WAL operations after Close.
+var ErrWALClosed = errors.New("service: WAL is closed")
+
+// OpenWAL opens (creating if needed) the job log at path and parses its
+// existing records for replay. maxBytes is the compaction threshold
+// (<= 0 uses DefaultWALMaxBytes). Unparseable lines — e.g. a torn tail
+// after kill -9 mid-append — are counted in Stats and skipped.
+func OpenWAL(path string, maxBytes int64) (*WAL, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultWALMaxBytes
+	}
+	w := &WAL{
+		path:     path,
+		maxBytes: maxBytes,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if err := w.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening WAL: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: opening WAL: %w", err)
+	}
+	w.f = f
+	w.size = st.Size()
+	w.w = bufio.NewWriter(f)
+	go w.flusher()
+	return w, nil
+}
+
+// load parses the existing log into w.replay, tolerating a torn tail.
+func (w *WAL) load() error {
+	f, err := os.Open(w.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: reading WAL: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec walRecord
+			if json.Unmarshal(line, &rec) != nil || rec.Op == "" || rec.Job == "" {
+				w.stats.SkippedLines++
+			} else {
+				w.replay = append(w.replay, rec)
+				w.stats.Records++
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("service: reading WAL: %w", err)
+		}
+	}
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Stats reports what the boot-time replay found; the Resumed/Terminal
+// counts are filled in once a Manager consumed the log.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// replayRecords hands the parsed records to the manager, once.
+func (w *WAL) replayRecords() []walRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	recs := w.replay
+	w.replay = nil
+	return recs
+}
+
+func (w *WAL) setReplayStats(resumed, terminal int) {
+	w.mu.Lock()
+	w.stats.Resumed, w.stats.Terminal = resumed, terminal
+	w.mu.Unlock()
+}
+
+// append buffers one record. It does not wait for durability — pair it
+// with Flush for the group-commit guarantee, or let the background flusher
+// sync it within walFlushInterval.
+func (w *WAL) append(rec walRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encoding WAL record: %w", err)
+	}
+	b = append(b, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("service: appending WAL record: %w", err)
+	}
+	w.size += int64(len(b))
+	w.dirty = true
+	w.kickLocked()
+	return nil
+}
+
+// Flush blocks until every record appended so far is fsynced. Concurrent
+// callers coalesce into one fsync (group commit).
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWALClosed
+	}
+	if !w.dirty {
+		w.mu.Unlock()
+		return nil
+	}
+	ch := make(chan error, 1)
+	w.waiters = append(w.waiters, ch)
+	w.kickLocked()
+	w.mu.Unlock()
+	return <-ch
+}
+
+func (w *WAL) kickLocked() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flusher is the single goroutine that performs fsyncs: appenders and Flush
+// callers only kick it, so any number of concurrent transitions share one
+// disk sync per cycle.
+func (w *WAL) flusher() {
+	defer close(w.done)
+	tick := time.NewTicker(walFlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.kick:
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		w.flushLocked()
+		w.mu.Unlock()
+	}
+}
+
+// flushLocked flushes the buffer, fsyncs, and releases waiters. Callers
+// hold w.mu.
+func (w *WAL) flushLocked() {
+	waiters := w.waiters
+	w.waiters = nil
+	var err error
+	if w.dirty {
+		if err = w.w.Flush(); err == nil {
+			err = w.f.Sync()
+		}
+		w.dirty = false
+	}
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// needsCompact reports whether the log outgrew its threshold. After a
+// compaction attempt (successful or not) the log must grow another 25%
+// before the next one, so a snapshot that is itself above the threshold —
+// or a failing rewrite — cannot trigger a compaction storm.
+func (w *WAL) needsCompact() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.closed && w.size > w.maxBytes && w.size >= w.compactFloor
+}
+
+// compactTo atomically replaces the log with the given snapshot records:
+// they are written to a temp file, fsynced, and renamed over the old log.
+// Any failure leaves the old log intact.
+func (w *WAL) compactTo(recs []walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	// Whatever happens below, require real growth before trying again.
+	defer func() { w.compactFloor = w.size + w.size/4 }()
+	// Flush the tail first: a record buffered but unwritten must not be
+	// lost if the rewrite fails midway.
+	w.flushLocked()
+
+	tmp := w.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: compacting WAL: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var size int64
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = bw.Write(b)
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("service: compacting WAL: %w", err)
+		}
+		size += int64(len(b))
+	}
+	if err := bw.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting WAL: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting WAL: %w", err)
+	}
+	// Best effort: make the rename itself durable.
+	if dir, err := os.Open(filepath.Dir(w.path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted log is on disk but we lost our handle; keep
+		// appending to the old (now unlinked) file so no records vanish,
+		// and surface the error.
+		return fmt.Errorf("service: reopening compacted WAL: %w", err)
+	}
+	old := w.f
+	w.f = nf
+	w.w = bufio.NewWriter(nf)
+	w.size = size
+	w.dirty = false
+	old.Close()
+	return nil
+}
+
+// Size returns the log's current byte size (buffered bytes included).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Close flushes and fsyncs any buffered records and closes the log.
+// Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+	w.closed = true
+	return w.f.Close()
+}
+
+// resultDigest fingerprints a finished result: a hex SHA-256 over the
+// instance name, winning strategy, objective, feasibility and the full plan
+// geometry — exactly the fields that are deterministic for a fixed seed
+// (the wall-clock Runtime is zeroed out). Bit-identical replayed solves
+// therefore produce bit-identical digests, which is what the chaos test
+// compares across a kill -9 and an uninterrupted run.
+func resultDigest(instance string, res *eblow.Result) string {
+	if res == nil {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%v\n", instance, res.Strategy, res.Objective, res.Feasible)
+	if res.Solution != nil {
+		s := *res.Solution
+		s.Runtime = 0
+		if b, err := json.Marshal(&s); err == nil {
+			h.Write(b)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// walIdentity stamps the record fields shared by accepted and terminal
+// records. Callers hold m.mu.
+func (m *Manager) walIdentity(j *job, rec *walRecord) {
+	rec.Job = j.id
+	rec.Key = j.spec.Key
+	rec.KeyPending = j.spec.KeyPending
+	rec.Label = j.spec.Label
+	rec.Solver = j.spec.Solver
+	rec.Name = j.instName
+	rec.Kind = j.instKind.String()
+	rec.Params = toWalParams(j.spec.Params)
+	rec.Submitted = j.submitted
+}
+
+// walAccepted builds the job's accepted record, instance JSON included.
+func (m *Manager) walAccepted(j *job) (walRecord, error) {
+	var buf bytes.Buffer
+	if err := eblow.EncodeInstance(&buf, j.spec.Instance); err != nil {
+		return walRecord{}, fmt.Errorf("service: encoding instance for WAL: %w", err)
+	}
+	rec := walRecord{Op: walOpAccepted, Time: j.submitted, Instance: buf.Bytes()}
+	m.walIdentity(j, &rec)
+	return rec, nil
+}
+
+// walTerminal builds the job's terminal record: identity plus outcome, so
+// it stands alone after compaction drops the accepted record.
+func (m *Manager) walTerminal(j *job) walRecord {
+	rec := walRecord{Op: walOpTerminal, Time: j.finished, State: string(j.state), Digest: j.digest}
+	m.walIdentity(j, &rec)
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	if r := j.result; r != nil {
+		rec.Strategy = r.Strategy
+		rec.Objective = r.Objective
+		rec.Feasible = r.Feasible
+		rec.ElapsedMs = r.Elapsed.Milliseconds()
+	}
+	return rec
+}
+
+// walAppendLocked appends a lifecycle record; failures degrade to a warning
+// event on the job rather than failing the transition (the solve result is
+// already in memory — losing a started/terminal record only means the job
+// re-runs after a crash). Callers hold m.mu.
+func (m *Manager) walAppendLocked(j *job, rec walRecord) {
+	if m.cfg.WAL == nil {
+		return
+	}
+	if err := m.cfg.WAL.append(rec); err != nil && !errors.Is(err, ErrWALClosed) {
+		m.appendEventLocked(j, "warning: WAL append failed: "+err.Error())
+	}
+}
+
+// maybeCompactWALLocked snapshots the live jobs over the log once it
+// outgrows its threshold: one terminal record per finished job, one
+// accepted record per queued or running job (a running job re-runs on
+// replay exactly as if the crash had happened mid-solve). A failed rewrite
+// keeps the old log and is retried once the log grows again. Callers hold
+// m.mu.
+func (m *Manager) maybeCompactWALLocked() {
+	w := m.cfg.WAL
+	if w == nil || !w.needsCompact() {
+		return
+	}
+	m.evictLocked(time.Now()) // expired records need no snapshot
+	recs := make([]walRecord, 0, len(m.order))
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j.state.Terminal() {
+			recs = append(recs, m.walTerminal(j))
+			continue
+		}
+		rec, err := m.walAccepted(j)
+		if err != nil {
+			return // cannot snapshot this job; keep the full log
+		}
+		recs = append(recs, rec)
+	}
+	_ = w.compactTo(recs)
+}
+
+// replayWALLocked rebuilds the manager's job table from the log read at
+// OpenWAL: terminal records become readable digest-only job records (the
+// plan itself was never logged), and every job accepted but not terminal is
+// re-enqueued in its original submission order — including jobs that were
+// mid-solve when the process died. Called from New before any other
+// goroutine can touch the manager; m.mu is held for the pool handoff.
+func (m *Manager) replayWALLocked() {
+	recs := m.cfg.WAL.replayRecords()
+	type slot struct {
+		accepted *walRecord
+		terminal *walRecord
+	}
+	slots := make(map[string]*slot)
+	var order []string
+	maxID := 0
+	for i := range recs {
+		rec := &recs[i]
+		s := slots[rec.Job]
+		if s == nil {
+			s = &slot{}
+			slots[rec.Job] = s
+			order = append(order, rec.Job)
+		}
+		switch rec.Op {
+		case walOpAccepted:
+			if s.accepted == nil {
+				s.accepted = rec
+			}
+		case walOpTerminal:
+			s.terminal = rec
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.Job, "j")); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	resumed, terminal := 0, 0
+	for _, id := range order {
+		s := slots[id]
+		switch {
+		case s.terminal != nil:
+			m.replayTerminalLocked(id, s.terminal)
+			terminal++
+		case s.accepted != nil:
+			if m.replayAcceptedLocked(id, s.accepted) {
+				resumed++
+			} else {
+				terminal++
+			}
+		}
+	}
+	if maxID > m.nextID {
+		m.nextID = maxID
+	}
+	m.cfg.WAL.setReplayStats(resumed, terminal)
+}
+
+// replayTerminalLocked restores a finished job as a digest-only record:
+// readable (and TTL-evictable) like any terminal job, but with a nil
+// Solution — the WAL logs the result digest, not the plan.
+func (m *Manager) replayTerminalLocked(id string, rec *walRecord) {
+	j := &job{
+		id:        id,
+		spec:      JobSpec{Solver: rec.Solver, Label: rec.Label, Key: rec.Key, KeyPending: rec.KeyPending, Params: rec.Params.params()},
+		instName:  rec.Name,
+		instKind:  kindFromString(rec.Kind),
+		state:     State(rec.State),
+		digest:    rec.Digest,
+		replayed:  true,
+		submitted: rec.Submitted,
+		finished:  rec.Time,
+		changed:   make(chan struct{}),
+	}
+	if !j.state.Terminal() {
+		j.state = StateFailed
+	}
+	if rec.Error != "" {
+		j.err = errors.New(rec.Error)
+	}
+	if rec.Strategy != "" || rec.Digest != "" {
+		j.result = &eblow.Result{
+			Strategy:  rec.Strategy,
+			Objective: rec.Objective,
+			Feasible:  rec.Feasible,
+			Elapsed:   time.Duration(rec.ElapsedMs) * time.Millisecond,
+		}
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.appendEventLocked(j, fmt.Sprintf("replayed terminal record from WAL: %s", j.state))
+}
+
+// replayAcceptedLocked re-enqueues a job that never reached a terminal
+// state. A spec that no longer decodes (corrupt record) becomes a failed
+// record instead, so the ID stays visible rather than silently vanishing.
+// Reports whether the job was actually re-enqueued.
+func (m *Manager) replayAcceptedLocked(id string, rec *walRecord) bool {
+	j := &job{
+		id:        id,
+		spec:      JobSpec{Solver: rec.Solver, Label: rec.Label, Key: rec.Key, KeyPending: rec.KeyPending, Params: rec.Params.params()},
+		instName:  rec.Name,
+		instKind:  kindFromString(rec.Kind),
+		submitted: rec.Submitted,
+		changed:   make(chan struct{}),
+	}
+	if j.submitted.IsZero() {
+		j.submitted = rec.Time
+	}
+	in, err := eblow.DecodeInstance(bytes.NewReader(rec.Instance))
+	if err != nil {
+		j.state = StateFailed
+		j.err = fmt.Errorf("service: replaying job spec from WAL: %w", err)
+		j.finished = time.Now()
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		m.appendEventLocked(j, "failed: "+j.err.Error())
+		m.walAppendLocked(j, m.walTerminal(j))
+		return false
+	}
+	j.spec.Instance = in
+	j.instName = in.Name
+	j.instKind = in.Kind
+	j.state = StateQueued
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.ctx, j.cancel = ctx, cancel
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.pending++
+	m.keyPendingAddLocked(j, 1)
+	m.appendEventLocked(j, "queued for "+solverLabel(j.spec)+" (replayed from WAL)")
+	m.pool.Submit(func() { m.run(j) })
+	return true
+}
+
+// kindFromString parses the Kind string a WAL record stores.
+func kindFromString(s string) eblow.Kind {
+	if s == eblow.TwoD.String() {
+		return eblow.TwoD
+	}
+	return eblow.OneD
+}
