@@ -64,8 +64,9 @@ type AuthKey struct {
 }
 
 // allow takes one token from the key's bucket, refilling by elapsed time.
+// Rate <= 0 or Burst <= 0 means the key is not rate limited.
 func (k *AuthKey) allow(now time.Time) bool {
-	if k.Rate <= 0 {
+	if k.Rate <= 0 || k.Burst <= 0 {
 		return true
 	}
 	k.mu.Lock()

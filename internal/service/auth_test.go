@@ -184,6 +184,25 @@ func TestAuthRateLimit(t *testing.T) {
 	}
 }
 
+// burst=0 is documented as unlimited: a positive rate with a zero-capacity
+// bucket must not lock the key out.
+func TestAuthBurstZeroUnlimited(t *testing.T) {
+	kr, err := ParseKeyring(strings.NewReader("nolimit secret-nolimit rate=5 burst=0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kr.lookup("secret-nolimit")
+	if k == nil {
+		t.Fatal("key not found")
+	}
+	now := time.Now()
+	for i := 0; i < 1000; i++ {
+		if !k.allow(now) {
+			t.Fatalf("request %d rejected with burst=0 (documented unlimited)", i)
+		}
+	}
+}
+
 // The per-key pending-job quota bounds one tenant without touching others.
 func TestKeyPendingQuota(t *testing.T) {
 	orig := solveSpec

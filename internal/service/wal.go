@@ -377,8 +377,14 @@ func (w *WAL) compactTo(recs []walRecord) error {
 		}
 		size += int64(len(b))
 	}
-	if err := bw.Flush(); err == nil {
+	err = bw.Flush()
+	if err == nil {
 		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting WAL: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -417,20 +423,22 @@ func (w *WAL) Size() int64 {
 }
 
 // Close flushes and fsyncs any buffered records and closes the log.
-// Idempotent.
+// Idempotent and safe for concurrent callers: the first caller performs the
+// shutdown, later callers wait for the flusher to stop and return nil.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
+		<-w.done
 		return nil
 	}
+	w.closed = true
 	w.mu.Unlock()
 	close(w.stop)
 	<-w.done
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.flushLocked()
-	w.closed = true
 	return w.f.Close()
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -327,4 +328,21 @@ func TestWALClosed(t *testing.T) {
 	if err := w.Flush(); err != ErrWALClosed {
 		t.Errorf("Flush after Close: %v", err)
 	}
+}
+
+// Concurrent Close calls must not race on the stop channel (close of a
+// closed channel panics); every caller returns without error.
+func TestWALCloseConcurrent(t *testing.T) {
+	w := openTestWAL(t, filepath.Join(t.TempDir(), "jobs.wal"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
 }
