@@ -1,0 +1,24 @@
+// Command eblowvet machine-checks the engine's determinism and
+// concurrency contracts as a `go vet -vettool`:
+//
+//	go build -o bin/eblowvet ./cmd/eblowvet
+//	go vet -vettool=$PWD/bin/eblowvet ./...
+//
+// or, equivalently, run it directly on package patterns and it re-executes
+// itself through go vet:
+//
+//	bin/eblowvet ./...
+//
+// The suite (detrange, globalrand, ctxpath, clockleak, errfence,
+// lockfield) and the //eblow:nondet-ok waiver syntax are documented in
+// docs/INVARIANTS.md.
+package main
+
+import (
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/suite"
+)
+
+func main() {
+	analysis.Main(suite.All())
+}

@@ -1,0 +1,44 @@
+package eblow
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeInstance feeds arbitrary bytes to the facade's instance
+// decoder. Two invariants: DecodeInstance never panics (torn files and
+// hostile uploads reach it via the HTTP submit path), and anything it
+// accepts survives an encode/decode round trip — a valid instance must
+// not become invalid by being saved.
+func FuzzDecodeInstance(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":2,"characters":null}`))
+	f.Add([]byte(`not json at all`))
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, SmallInstance(OneD, 4, 2, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := DecodeInstance(bytes.NewReader(data))
+		if err != nil {
+			if in != nil {
+				t.Fatalf("DecodeInstance returned both an instance and an error: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeInstance(&out, in); err != nil {
+			t.Fatalf("re-encoding an accepted instance failed: %v", err)
+		}
+		again, err := DecodeInstance(&out)
+		if err != nil {
+			t.Fatalf("round trip of an accepted instance failed: %v", err)
+		}
+		if again.Kind != in.Kind || len(again.Characters) != len(in.Characters) ||
+			again.NumRegions != in.NumRegions {
+			t.Fatalf("round trip changed the instance: %+v -> %+v", in, again)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// plus the pieces the eblowvet suite shares across its analyzers: the
+// //eblow:nondet-ok waiver mechanism, the table of contract-bearing
+// packages, and the `go vet -vettool` (unitchecker) protocol driver.
+//
+// The x/tools module is deliberately not imported: the engine's contracts
+// are checked with nothing beyond the standard library, so `go build
+// ./cmd/eblowvet` works on a bare toolchain. The API mirrors x/tools
+// closely enough that an analyzer written here ports to the real framework
+// by changing imports.
+//
+// Every diagnostic names the contract it enforces and the section of
+// docs/INVARIANTS.md that defines it; Reportf appends that trailer
+// automatically from the Analyzer's Contract field.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and is the anchor of
+	// its section in docs/INVARIANTS.md.
+	Name string
+
+	// Contract is the short name of the engine contract the analyzer
+	// enforces, e.g. "determinism". It appears in every diagnostic.
+	Contract string
+
+	// Doc describes what the analyzer reports and how to fix or waive a
+	// finding. The first line is a one-line summary.
+	Doc string
+
+	// Run applies the check to one package. Diagnostics go through
+	// pass.Reportf; the returned error signals an internal analyzer
+	// failure, not a finding.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding. The contract trailer ("[<contract> contract —
+// docs/INVARIANTS.md#<name>]") is appended so every diagnostic names the
+// rule it enforces and where that rule is defined.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if p.Analyzer.Contract != "" {
+		msg = fmt.Sprintf("%s [%s contract — docs/INVARIANTS.md#%s]",
+			msg, p.Analyzer.Contract, p.Analyzer.Name)
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: msg})
+}
+
+// WalkStack walks the AST rooted at root, calling fn for every node with
+// the stack of its ancestors (outermost first, not including n itself).
+// It is the shared helper for analyzers that need a node's enclosing
+// statement list or function.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// IsPkgFunc reports whether the call's function is the package-level
+// function pkgPath.name, resolved through the type checker (so aliased
+// imports and shadowed identifiers are handled correctly). Methods never
+// match.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := PkgFuncOf(info, call)
+	return fn != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// PkgFuncOf resolves a call to the package-level *types.Func it invokes,
+// or nil if the callee is not a package-level function (methods, builtins,
+// function-typed variables, conversions).
+func PkgFuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,196 @@
+// Package analysistest runs eblowvet analyzers over small fixture
+// packages and checks their diagnostics against expectations written in
+// the fixtures themselves, in the style of golang.org/x/tools'
+// analysistest (reimplemented here because the module vendors nothing):
+//
+//	x := m[k] // want `range over map`
+//
+// A `// want` comment holds one or more Go string literals, each a
+// regular expression that must match one diagnostic reported on that
+// line. Lines without a want comment must produce no diagnostics, and
+// every expectation must be consumed — missing and surplus findings both
+// fail the test.
+//
+// Fixtures live under testdata/src/<importpath>/ relative to the
+// analyzer's package. The import path is meaningful: the package is
+// type-checked under exactly that path, so scope rules keyed on
+// pass.Pkg.Path() (deterministic kernels, the eblow facade) apply to
+// fixtures the same way they apply to the real tree. Fixture files may
+// import the standard library only.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"eblow/internal/analysis"
+)
+
+// expectation is one compiled `// want` pattern, keyed by file and line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<path> for each import path, type-checks it,
+// applies the analyzers through the same waiver-filtering pipeline the
+// vettool uses, and diffs the diagnostics against the `// want`
+// expectations in the fixture sources.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, ip := range importPaths {
+		runOne(t, analyzers, ip)
+	}
+}
+
+func runOne(t *testing.T, analyzers []*analysis.Analyzer, importPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("analysistest: no .go files under %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	// The source importer type-checks stdlib dependencies from GOROOT
+	// source, so the harness needs no compiled export data and no network.
+	var typeErrs []string
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		// Collect every error so a broken fixture reports all of them at once.
+		Error: func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	info := analysis.NewTypesInfo()
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("analysistest: fixture %s does not type-check:\n  %s",
+			importPath, strings.Join(typeErrs, "\n  "))
+	}
+
+	expects, err := collectWants(fset, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	diags := analysis.RunPackage(fset, files, pkg, info, analyzers)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if e := matchWant(expects, pos, d.Message); e == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched `// want %s`", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// matchWant consumes the first unmatched expectation on the diagnostic's
+// line whose pattern matches the message.
+func matchWant(expects []*expectation, pos token.Position, msg string) *expectation {
+	for _, e := range expects {
+		if e.matched || e.file != pos.Filename || e.line != pos.Line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return e
+		}
+	}
+	return nil
+}
+
+// collectWants parses every `// want "re" ...` comment. Patterns are Go
+// string literals (quoted or backquoted) so fixtures can write regexps
+// without double escaping.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[i+len("// want "):])
+				for rest != "" {
+					lit, tail, err := scanStringLit(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: rest[:len(rest)-len(tail)]})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// scanStringLit splits one leading Go string literal off s.
+func scanStringLit(s string) (value, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				v, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", err
+				}
+				return v, s[i+1:], nil
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string in %q", s)
+	default:
+		return "", "", fmt.Errorf("want pattern must be a quoted or backquoted Go string, got %q", s)
+	}
+}

@@ -1,0 +1,103 @@
+// Package clockleak keeps the wall clock out of the deterministic solver
+// kernels. A previous regression let time.Now reach a WAL result digest
+// through Result.Runtime; this analyzer makes the whole class impossible
+// at vet time: in kernel packages, time.Now/Since/Until may appear only in
+// the timing-trace idiom, where the value can feed an Elapsed field but
+// never an objective, a merge key, or a digest.
+//
+// The allowed idiom is
+//
+//	start := time.Now()        // timer variable: start, t0, or *Start
+//	...
+//	res.Elapsed = time.Since(start)
+//
+// time.Now assigned to a timer-named variable and time.Since of a
+// timer-named variable pass; every other wall-clock call is flagged.
+// Sanctioned wall-clock behavior (a deadline cutoff that decides when to
+// stop searching, never which answer wins) is waived in place with
+// //eblow:nondet-ok <reason>.
+package clockleak
+
+import (
+	"go/ast"
+	"strings"
+
+	"eblow/internal/analysis"
+)
+
+// Analyzer flags wall-clock reads outside the tracing idiom in
+// deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name:     "clockleak",
+	Contract: "determinism",
+	Doc: "flag time.Now/Since/Until in deterministic solver kernels " +
+		"outside the start/Elapsed timing-trace idiom",
+	Run: run,
+}
+
+// timerName reports whether an identifier names a trace timer.
+func timerName(name string) bool {
+	return name == "start" || name == "t0" || strings.HasSuffix(name, "Start")
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := analysis.PkgFuncOf(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg().Path() != "time" {
+				return
+			}
+			switch fn.Name() {
+			case "Now":
+				if isTimerAssign(call, stack) {
+					return
+				}
+			case "Since":
+				if len(call.Args) == 1 {
+					if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && timerName(id.Name) {
+						return
+					}
+				}
+			case "Until":
+				// always flagged
+			default:
+				// Conversions and constructors (time.Duration, time.Unix,
+				// time.Date) are deterministic; only clock reads leak.
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a deterministic kernel; only the tracing idiom (start := time.Now(); X.Elapsed = time.Since(start)) is allowed, so clock values can never reach an objective, a merge key, or a WAL digest",
+				fn.Name())
+		})
+	}
+	return nil
+}
+
+// isTimerAssign reports whether call is the sole RHS of an assignment or
+// declaration to a timer-named variable: `start := time.Now()`.
+func isTimerAssign(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		if len(parent.Lhs) != 1 || len(parent.Rhs) != 1 || parent.Rhs[0] != ast.Expr(call) {
+			return false
+		}
+		id, ok := parent.Lhs[0].(*ast.Ident)
+		return ok && timerName(id.Name)
+	case *ast.ValueSpec:
+		if len(parent.Names) != 1 || len(parent.Values) != 1 || parent.Values[0] != ast.Expr(call) {
+			return false
+		}
+		return timerName(parent.Names[0].Name)
+	}
+	return false
+}

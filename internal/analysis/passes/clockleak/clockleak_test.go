@@ -1,0 +1,14 @@
+package clockleak_test
+
+import (
+	"testing"
+
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/analysistest"
+	"eblow/internal/analysis/passes/clockleak"
+)
+
+func TestClockleak(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{clockleak.Analyzer},
+		"eblow/internal/pack2d", "eblow/internal/service")
+}

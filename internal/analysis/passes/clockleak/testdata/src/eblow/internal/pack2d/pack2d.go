@@ -1,0 +1,42 @@
+// Fixture for clockleak: eblow/internal/pack2d is a deterministic kernel,
+// so wall-clock reads outside the timing-trace idiom are in scope.
+package pack2d
+
+import "time"
+
+type Result struct {
+	Elapsed time.Duration
+}
+
+func Traced() Result {
+	start := time.Now() // timing-trace idiom: allowed
+	var r Result
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+func TracedT0() time.Duration {
+	t0 := time.Now() // t0 is a recognized timer name: allowed
+	return time.Since(t0)
+}
+
+func Leaky() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock in a deterministic kernel`
+}
+
+func SinceNonTimer(stamp time.Time) time.Duration {
+	return time.Since(stamp) // want `time.Since reads the wall clock in a deterministic kernel`
+}
+
+func UntilDeadline(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until reads the wall clock in a deterministic kernel`
+}
+
+func Window(n int64) time.Duration {
+	return time.Duration(n) * time.Millisecond // conversion, not a clock read: allowed
+}
+
+func Waived(deadline time.Time) bool {
+	//eblow:nondet-ok deadline cutoff decides when the search stops, never which answer wins
+	return time.Now().After(deadline)
+}

@@ -1,0 +1,9 @@
+// Fixture for clockleak: the service layer timestamps events on purpose,
+// so it is out of scope.
+package service
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}

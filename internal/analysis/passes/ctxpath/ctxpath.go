@@ -1,0 +1,153 @@
+// Package ctxpath enforces the cancellation contract in solver packages:
+// a context handed to a solve/pack/plan entry point must actually reach
+// the long-running work.
+//
+// Two patterns are flagged:
+//
+//   - a function that has a context.Context parameter but calls
+//     context.Background() or context.TODO() in its body — the classic
+//     "lost context": downstream work becomes uncancellable even though
+//     the caller supplied a context;
+//   - an exported entry point (Solve*/Pack*/Plan*/Run*/Multi*) whose
+//     context parameter is never referenced at all, so cancellation and
+//     deadlines silently do nothing.
+//
+// Kernels that cannot thread a ctx (e.g. tight LP loops) must instead be
+// wired to lp.Problem.Stop by their caller; a site where neither applies
+// is waived with //eblow:nondet-ok <reason>.
+package ctxpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"eblow/internal/analysis"
+)
+
+// Analyzer flags lost or unused contexts in solver entry points.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxpath",
+	Contract: "cancellation",
+	Doc: "flag solver entry points that accept a context.Context but drop " +
+		"it (never reference it, or replace it with context.Background/TODO)",
+	Run: run,
+}
+
+// entryPrefixes are the exported entry-point name prefixes whose ctx
+// parameter must be propagated.
+var entryPrefixes = []string{"Solve", "Pack", "Plan", "Run", "Multi"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSolverPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			checkFreshContext(pass, fd)
+			if fd.Name.IsExported() && isEntryPoint(fd.Name.Name) {
+				checkPropagated(pass, fd, ctxParams)
+			}
+		}
+	}
+	return nil
+}
+
+func isEntryPoint(name string) bool {
+	for _, p := range entryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextParams returns the identifiers of fd's context.Context parameters.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) []*ast.Ident {
+	var ids []*ast.Ident
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		ids = append(ids, field.Names...)
+		if len(field.Names) == 0 {
+			// Unnamed ctx parameter: unusable by definition; report on
+			// entry points via checkPropagated's nil-name path.
+			ids = append(ids, nil)
+		}
+	}
+	return ids
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkFreshContext flags context.Background/TODO calls inside a function
+// that already has a context parameter.
+func checkFreshContext(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range [...]string{"Background", "TODO"} {
+			if analysis.IsPkgFunc(pass.TypesInfo, call, "context", name) {
+				pass.Reportf(call.Pos(),
+					"context.%s creates a fresh context inside a function that already receives one; propagate the ctx parameter (or wire lp.Problem.Stop) so cancellation reaches the kernel",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// checkPropagated flags entry-point ctx parameters that are never
+// referenced in the body.
+func checkPropagated(pass *analysis.Pass, fd *ast.FuncDecl, ctxParams []*ast.Ident) {
+	for _, id := range ctxParams {
+		if id == nil || id.Name == "_" {
+			pos := fd.Name.Pos()
+			if id != nil {
+				pos = id.Pos()
+			}
+			pass.Reportf(pos,
+				"%s discards its context parameter; cancellation and deadlines silently do nothing",
+				fd.Name.Name)
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if use, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[use] == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			pass.Reportf(id.Pos(),
+				"%s accepts ctx but never propagates it; long-running kernels must honor cancellation (pass ctx down, select on ctx.Done, or wire lp.Problem.Stop)",
+				fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package ctxpath_test
+
+import (
+	"testing"
+
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/analysistest"
+	"eblow/internal/analysis/passes/ctxpath"
+)
+
+func TestCtxpath(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{ctxpath.Analyzer},
+		"eblow/internal/twod", "eblow/internal/service")
+}

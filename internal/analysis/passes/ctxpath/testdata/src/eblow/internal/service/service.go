@@ -1,0 +1,9 @@
+// Fixture for ctxpath: the service layer is not a solver package, so its
+// entry points are out of scope (the HTTP stack has its own ctx rules).
+package service
+
+import "context"
+
+func RunJob(ctx context.Context, n int) int {
+	return n
+}

@@ -1,0 +1,49 @@
+// Fixture for ctxpath: eblow/internal/twod is a solver package, so its
+// Solve/Pack/Plan/Run/Multi entry points must propagate their contexts.
+package twod
+
+import "context"
+
+func SolveDropped(ctx context.Context, n int) int { // want `SolveDropped accepts ctx but never propagates it`
+	return n * 2
+}
+
+func SolveUnderscore(_ context.Context, n int) int { // want `SolveUnderscore discards its context parameter`
+	return n
+}
+
+func PackLost(ctx context.Context, n int) int {
+	sub := context.Background() // want `context.Background creates a fresh context inside a function that already receives one`
+	_ = sub
+	_ = ctx
+	return n
+}
+
+func SolveGood(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n
+}
+
+func SolveDelegating(ctx context.Context, n int) int {
+	return solve(ctx, n) // passing ctx down: allowed
+}
+
+func solve(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// helper is not an exported entry point, so its unused ctx is tolerated
+// (only the Background/TODO "lost context" check applies to it).
+func helper(ctx context.Context) int {
+	return 0
+}
+
+//eblow:nondet-ok the LP inner loop cannot thread a ctx; callers wire lp.Problem.Stop instead
+func RunWaived(ctx context.Context, n int) int {
+	return n
+}

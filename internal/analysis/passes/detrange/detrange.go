@@ -1,0 +1,173 @@
+// Package detrange flags `range` over a map in the deterministic solver
+// kernels. Map iteration order is randomized per run, so anything an
+// unsorted map range feeds — merge order, candidate order, output order —
+// breaks the bit-identical-results contract the engine holds at any
+// worker count.
+//
+// The canonical fix is the collect-and-sort idiom, which the analyzer
+// recognizes and allows:
+//
+//	var keys []string
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys { ... }
+//
+// A range whose order provably cannot be observed (pure counting, building
+// another map) is waived in place with //eblow:nondet-ok <reason>.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eblow/internal/analysis"
+)
+
+// Analyzer flags nondeterministic map iteration in deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name:     "detrange",
+	Contract: "determinism",
+	Doc: "flag `range` over a map in the deterministic solver kernels " +
+		"unless the loop only collects keys that are sorted immediately after",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return
+			}
+			if isSortedCollect(pass, rs, stack) {
+				return
+			}
+			pass.Reportf(rs.X.Pos(),
+				"range over map %s has nondeterministic iteration order; collect the keys and sort them first, or waive with //eblow:nondet-ok <reason>",
+				types.ExprString(rs.X))
+		})
+	}
+	return nil
+}
+
+// isSortedCollect reports whether rs is the collect half of the
+// collect-and-sort idiom: every statement in its body appends to local
+// slices, and every one of those slices is sorted by a sort/slices call
+// later in the same enclosing statement list.
+func isSortedCollect(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	// Every body statement must be `s = append(s, ...)`.
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	targets := make(map[types.Object]bool)
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || arg0.Name != lhs.Name {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+
+	// Find the statement list holding rs and scan what follows it for a
+	// sort of every collected slice.
+	following := followingStmts(rs, stack)
+	if following == nil {
+		return false
+	}
+	for _, stmt := range following {
+		for obj := range targets {
+			if sortsObject(pass, stmt, obj) {
+				delete(targets, obj)
+			}
+		}
+	}
+	return len(targets) == 0
+}
+
+// followingStmts returns the statements after rs in its directly enclosing
+// statement list (block or case clause), or nil if there is none.
+func followingStmts(rs *ast.RangeStmt, stack []ast.Node) []ast.Stmt {
+	var list []ast.Stmt
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.BlockStmt:
+		list = parent.List
+	case *ast.CaseClause:
+		list = parent.Body
+	case *ast.CommClause:
+		list = parent.Body
+	default:
+		return nil
+	}
+	for i, s := range list {
+		if s == ast.Stmt(rs) {
+			return list[i+1:]
+		}
+	}
+	return nil
+}
+
+// sortsObject reports whether stmt contains a call into package sort or
+// slices whose arguments reference obj.
+func sortsObject(pass *analysis.Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.PkgFuncOf(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			refs := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					refs = true
+				}
+				return !refs
+			})
+			if refs {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,14 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/analysistest"
+	"eblow/internal/analysis/passes/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{detrange.Analyzer},
+		"eblow/internal/oned", "eblow/internal/gen")
+}

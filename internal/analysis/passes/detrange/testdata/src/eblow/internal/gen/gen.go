@@ -1,0 +1,11 @@
+// Fixture for detrange: eblow/internal/gen is an instance generator, not a
+// deterministic kernel, so map ranges here are out of scope.
+package gen
+
+func anyOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+// Fixture for detrange: eblow/internal/oned is a deterministic kernel, so
+// map ranges here are in scope.
+package oned
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+func sortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collect-and-sort idiom: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices iterate in order: out of the analyzer's scope
+		total += v
+	}
+	return total
+}
+
+func waived(m map[string]int) int {
+	n := 0
+	//eblow:nondet-ok pure counting; iteration order cannot reach the result
+	for range m {
+		n++
+	}
+	return n
+}
+
+// waiverOneSite shows a waiver suppressing exactly the next line: the
+// second range is outside its reach and still flagged.
+func waiverOneSite(a, b map[string]int) (int, int) {
+	x, y := 0, 0
+	//eblow:nondet-ok pure counting; covers only the range directly below
+	for range a {
+		x++
+	}
+	for range b { // want `range over map b has nondeterministic iteration order`
+		y++
+	}
+	return x, y
+}

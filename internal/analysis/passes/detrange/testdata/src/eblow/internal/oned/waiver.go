@@ -1,0 +1,15 @@
+// Waiver bookkeeping: a bare waiver and a waiver with nothing to suppress
+// are themselves diagnostics.
+package oned
+
+//eblow:nondet-ok // want `waiver requires a reason`
+func bareWaiver(m map[string]int) int {
+	n := 0
+	for range m { // want `range over map m has nondeterministic iteration order`
+		n++
+	}
+	return n
+}
+
+//eblow:nondet-ok nothing on the next line needs this // want `unused waiver`
+func noViolationHere() int { return 1 }

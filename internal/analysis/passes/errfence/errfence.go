@@ -1,0 +1,96 @@
+// Package errfence enforces the facade error contract from the PR 2 API
+// redesign: every error string the public eblow package hands to callers
+// carries the "eblow: " prefix, so callers can attribute failures and the
+// HTTP layer can rely on a stable shape.
+//
+// The analyzer checks errors.New and fmt.Errorf string literals inside
+// exported functions and exported package-level error variables of the
+// facade package. Unexported helpers are exempt on purpose — the
+// sanctioned pattern builds unprefixed context in a helper and lets each
+// exported wrapper add the prefix exactly once:
+//
+//	func decodeInstance(r io.Reader) (*Instance, error) {
+//		... fmt.Errorf("decoding instance: %w", err) ...   // helper: bare
+//	}
+//	func DecodeInstance(r io.Reader) (*Instance, error) {
+//		... fmt.Errorf("eblow: %w", err) ...               // facade: prefixed
+//	}
+package errfence
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"eblow/internal/analysis"
+)
+
+// Analyzer flags unprefixed error strings built in the facade's exported
+// surface.
+var Analyzer = &analysis.Analyzer{
+	Name:     "errfence",
+	Contract: "error-prefix",
+	Doc: "flag errors.New/fmt.Errorf literals without the \"eblow: \" prefix " +
+		"in exported functions and variables of the facade package",
+	Run: run,
+}
+
+const prefix = "eblow: "
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != analysis.FacadePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil && d.Name.IsExported() {
+					checkErrorLiterals(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.IsExported() && i < len(vs.Values) {
+							checkErrorLiterals(pass, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkErrorLiterals flags error-constructor calls under root whose string
+// literal lacks the facade prefix.
+func checkErrorLiterals(pass *analysis.Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !analysis.IsPkgFunc(pass.TypesInfo, call, "errors", "New") &&
+			!analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if !strings.HasPrefix(s, prefix) {
+			pass.Reportf(lit.Pos(),
+				"facade error %q lacks the %q prefix; callers attribute failures by it (build bare context only in unexported helpers)",
+				s, prefix)
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package errfence_test
+
+import (
+	"testing"
+
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/analysistest"
+	"eblow/internal/analysis/passes/errfence"
+)
+
+func TestErrfence(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{errfence.Analyzer},
+		"eblow", "eblow/internal/oned")
+}

@@ -1,0 +1,42 @@
+// Fixture for errfence: package path "eblow" is the facade, so exported
+// error strings here must carry the "eblow: " prefix.
+package eblow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInfeasible is exported and prefixed: allowed.
+var ErrInfeasible = errors.New("eblow: no feasible plan")
+
+// ErrNaked is exported but bare.
+var ErrNaked = errors.New("no feasible plan") // want `lacks the "eblow: " prefix`
+
+// errInternal is unexported; wrappers add the prefix when they surface it.
+var errInternal = errors.New("internal bookkeeping")
+
+func Solve(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative stencil count %d", n) // want `lacks the "eblow: " prefix`
+	}
+	return fmt.Errorf("eblow: solve failed for %d stencils", n)
+}
+
+func decode(n int) error {
+	// Unexported helper: the sanctioned pattern builds bare context here
+	// and lets the exported wrapper prefix it exactly once.
+	return fmt.Errorf("decoding instance %d", n)
+}
+
+func Decode(n int) error {
+	if err := decode(n); err != nil {
+		return fmt.Errorf("eblow: %w", err)
+	}
+	return nil
+}
+
+func Waived() error {
+	//eblow:nondet-ok transitional message kept verbatim for a golden-file test
+	return errors.New("legacy message without prefix")
+}

@@ -1,0 +1,9 @@
+// Fixture for errfence: only the facade package is in scope; internal
+// packages build bare context for the facade to wrap.
+package oned
+
+import "fmt"
+
+func Solve(n int) error {
+	return fmt.Errorf("row %d does not fit", n)
+}

@@ -1,0 +1,89 @@
+// Package globalrand flags use of the process-global math/rand state in
+// solver packages. The global RNG is shared, racy under concurrency, and
+// (since Go 1.20) randomly seeded — all three break reproducible solves.
+// Kernels must draw randomness from an injected *rand.Rand constructed
+// from Params.Seed, and RNG seeds must never come from the wall clock.
+package globalrand
+
+import (
+	"go/ast"
+
+	"eblow/internal/analysis"
+)
+
+// Analyzer flags global math/rand functions and wall-clock RNG seeds in
+// solver packages.
+var Analyzer = &analysis.Analyzer{
+	Name:     "globalrand",
+	Contract: "seeded-rng",
+	Doc: "flag top-level math/rand functions and time-seeded sources in " +
+		"solver packages; RNGs must be *rand.Rand values derived from Params.Seed",
+	Run: run,
+}
+
+// constructors create RNG state rather than drawing from the global
+// stream; they are fine as long as their seed is not the wall clock.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSolverPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.PkgFuncOf(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			name := fn.Name()
+			if !constructors[name] {
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the process-global RNG (shared, racy, randomly seeded); inject a *rand.Rand derived from Params.Seed instead",
+					fn.Pkg().Path(), name)
+				return true
+			}
+			if seedArg := wallClockArg(pass, call); seedArg != nil {
+				pass.Reportf(seedArg.Pos(),
+					"RNG seeded from the wall clock; derive seeds from Params.Seed so runs are reproducible")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wallClockArg returns the first argument of an RNG constructor call that
+// references package time (e.g. time.Now().UnixNano()), or nil.
+func wallClockArg(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		leaks := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				leaks = true
+			}
+			return !leaks
+		})
+		if leaks {
+			return arg
+		}
+	}
+	return nil
+}

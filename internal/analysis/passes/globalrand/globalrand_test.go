@@ -1,0 +1,14 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/analysistest"
+	"eblow/internal/analysis/passes/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{globalrand.Analyzer},
+		"eblow/internal/anneal", "eblow/internal/service")
+}

@@ -1,0 +1,34 @@
+// Fixture for globalrand: eblow/internal/anneal is a solver package, so
+// global-RNG use here is in scope.
+package anneal
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `math/rand.Intn draws from the process-global RNG`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle draws from the process-global RNG`
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // injected seed: allowed
+}
+
+func drawFromInjected(rng *rand.Rand) int {
+	return rng.Intn(10) // method on an injected *rand.Rand: allowed
+}
+
+func wallClockSeed() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `RNG seeded from the wall clock`
+	return rand.New(src)
+}
+
+func waived() float64 {
+	//eblow:nondet-ok perf-probe jitter only; the value never reaches a plan or objective
+	return rand.Float64()
+}

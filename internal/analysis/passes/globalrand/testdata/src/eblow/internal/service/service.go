@@ -1,0 +1,9 @@
+// Fixture for globalrand: the service layer is not a solver package, so
+// global-RNG use here is out of scope.
+package service
+
+import "math/rand"
+
+func retryJitter() int {
+	return rand.Intn(100)
+}

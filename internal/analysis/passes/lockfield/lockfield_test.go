@@ -1,0 +1,14 @@
+package lockfield_test
+
+import (
+	"testing"
+
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/analysistest"
+	"eblow/internal/analysis/passes/lockfield"
+)
+
+func TestLockfield(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{lockfield.Analyzer},
+		"eblow/internal/service")
+}

@@ -1,0 +1,26 @@
+// Package suite assembles the eblowvet analyzers. cmd/eblowvet and any
+// test that wants the whole gate import this one list so the CI binary
+// and local runs can never disagree about what is checked.
+package suite
+
+import (
+	"eblow/internal/analysis"
+	"eblow/internal/analysis/passes/clockleak"
+	"eblow/internal/analysis/passes/ctxpath"
+	"eblow/internal/analysis/passes/detrange"
+	"eblow/internal/analysis/passes/errfence"
+	"eblow/internal/analysis/passes/globalrand"
+	"eblow/internal/analysis/passes/lockfield"
+)
+
+// All returns the full eblowvet suite in diagnostic-stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrange.Analyzer,
+		globalrand.Analyzer,
+		ctxpath.Analyzer,
+		clockleak.Analyzer,
+		errfence.Analyzer,
+		lockfield.Analyzer,
+	}
+}

@@ -1,0 +1,242 @@
+package analysis
+
+// The `go vet -vettool` driver. cmd/go speaks a simple protocol to an
+// external vet tool:
+//
+//   - `tool -V=full` must print an identifying line ending in a build ID;
+//     cmd/go hashes it into its action cache key.
+//   - `tool -flags` must print a JSON description of the tool's flags so
+//     cmd/go can validate pass-through vet flags.
+//   - `tool <dir>/vet.cfg` is invoked once per package with a JSON config
+//     naming the source files, the import map, and the export-data file of
+//     every dependency (compiled by cmd/go into the build cache). The tool
+//     type-checks the package, runs its analyzers, prints findings to
+//     stderr, writes its (empty — the suite is fact-free) facts file to
+//     VetxOutput, and exits nonzero iff it found anything.
+//
+// x/tools implements this in go/analysis/unitchecker; this is the same
+// protocol spoken with only the standard library: the gc export-data
+// importer reads the build cache files cmd/go already made for us.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON written by cmd/go next to each package it
+// asks the vet tool to check (the fields this driver consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	SucceedOnTypecheckFailure bool
+	VetxOnly                  bool
+	VetxOutput                string
+}
+
+// Main is the entry point of a vettool binary built on this suite. Called
+// by cmd/go it speaks the protocol above; called by a human with package
+// patterns (or nothing, meaning ./...) it re-executes itself through
+// `go vet -vettool` so both spellings share one code path.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			// No tool-specific flags: waivers are source comments, not
+			// command-line state, so runs are reproducible from the tree
+			// alone.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetCfg(args[0], analyzers))
+	}
+	os.Exit(execGoVet(args))
+}
+
+// printVersion implements -V=full. The build ID hashes the executable so
+// cmd/go's vet result cache invalidates whenever the tool changes.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", progname, h.Sum(nil)[:24])
+}
+
+// execGoVet re-invokes the suite through `go vet -vettool=<self>` on the
+// given package patterns (default ./...).
+func execGoVet(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eblowvet:", err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "eblowvet:", err)
+		return 1
+	}
+	return 0
+}
+
+// runVetCfg checks one package described by a cmd/go vet.cfg file and
+// returns the process exit code: 0 clean, 1 operational failure, 2
+// findings.
+func runVetCfg(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eblowvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "eblowvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			// The suite exchanges no facts between packages, but cmd/go
+			// requires the facts file to exist.
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The contracts bind production code; tests exercise
+		// nondeterminism on purpose (and cmd/go hands us the test
+		// variant of each requested package).
+		if strings.HasSuffix(filepath.Base(name), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	pkg, info, err := typeCheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	diags := RunPackage(fset, files, pkg, info, analyzers)
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typeCheck type-checks the package from cfg using the export data cmd/go
+// compiled for every dependency.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compilerImp := importer.ForCompiler(fset, "gc", lookup)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImp.Import(path)
+	})
+
+	var typeErrs []error
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, nil, typeErrs[0]
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// allocated. Shared with the analysistest harness.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WaiverMarker is the single waiver mechanism shared by every analyzer in
+// the suite. A comment of the form
+//
+//	//eblow:nondet-ok <reason>
+//
+// placed on the offending line, or on its own line directly above it,
+// suppresses the eblowvet diagnostics for that site. The reason is
+// mandatory — a bare waiver is itself a diagnostic — and a waiver that
+// suppresses nothing is reported as unused, so stale waivers cannot
+// accumulate. See docs/INVARIANTS.md#waivers.
+const WaiverMarker = "eblow:nondet-ok"
+
+// A Waiver is one parsed //eblow:nondet-ok comment.
+type Waiver struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Reason string
+	used   bool
+}
+
+// A WaiverSet indexes a package's waivers by file for suppression lookups.
+type WaiverSet struct {
+	byFile map[string][]*Waiver
+	all    []*Waiver
+}
+
+// CollectWaivers parses every //eblow:nondet-ok comment in files.
+func CollectWaivers(fset *token.FileSet, files []*ast.File) *WaiverSet {
+	ws := &WaiverSet{byFile: make(map[string][]*Waiver)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//"+WaiverMarker)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				reason := strings.TrimSpace(rest)
+				// Expectation comments in analyzer testdata share the
+				// line; they are not part of the reason.
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				pos := fset.Position(c.Pos())
+				w := &Waiver{Pos: c.Pos(), File: pos.Filename, Line: pos.Line, Reason: reason}
+				ws.byFile[w.File] = append(ws.byFile[w.File], w)
+				ws.all = append(ws.all, w)
+			}
+		}
+	}
+	return ws
+}
+
+// Suppress reports whether a diagnostic at p is covered by a waiver, and
+// marks the waiver used. A waiver covers its own line (trailing-comment
+// form) and the line below it (own-line form). Waivers without a reason
+// never suppress — they only produce their own diagnostic.
+func (ws *WaiverSet) Suppress(p token.Position) bool {
+	for _, w := range ws.byFile[p.Filename] {
+		if w.Reason == "" {
+			continue
+		}
+		if p.Line == w.Line || p.Line == w.Line+1 {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Problems returns the waiver bookkeeping diagnostics: waivers missing a
+// reason and waivers that suppressed nothing. They are attributed to the
+// pseudo-analyzer "waiver".
+func (ws *WaiverSet) Problems() []Diagnostic {
+	var diags []Diagnostic
+	for _, w := range ws.all {
+		switch {
+		case w.Reason == "":
+			diags = append(diags, Diagnostic{
+				Pos:      w.Pos,
+				Analyzer: "waiver",
+				Message:  "waiver requires a reason: //eblow:nondet-ok <why this site is safe> [waiver contract — docs/INVARIANTS.md#waivers]",
+			})
+		case !w.used:
+			diags = append(diags, Diagnostic{
+				Pos:      w.Pos,
+				Analyzer: "waiver",
+				Message:  "unused waiver: no diagnostic here needs waiving; delete it [waiver contract — docs/INVARIANTS.md#waivers]",
+			})
+		}
+	}
+	return diags
+}
+
+// RunPackage applies analyzers to one type-checked package, filters the
+// findings through the package's waivers, appends the waiver bookkeeping
+// diagnostics, and returns everything sorted by position. It is the one
+// execution path shared by the vettool driver and the analysistest
+// harness, so waiver semantics cannot drift between them.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	ws := CollectWaivers(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.report = func(d Diagnostic) {
+			if ws.Suppress(fset.Position(d.Pos)) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{
+				Pos:      token.NoPos,
+				Analyzer: a.Name,
+				Message:  "internal error in " + a.Name + ": " + err.Error(),
+			})
+		}
+	}
+	diags = append(diags, ws.Problems()...)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags
+}

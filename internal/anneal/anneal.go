@@ -125,6 +125,7 @@ func Minimize(ctx context.Context, s State, opt Options) Result {
 			return true
 		default:
 		}
+		//eblow:nondet-ok deadline cutoff is sanctioned cancellation: it decides when the search stops, never which candidate wins a merge
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 

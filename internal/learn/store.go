@@ -253,6 +253,7 @@ func readFile(path string) (map[string]*ShapeStats, error) {
 	if f.Shapes != nil {
 		out = f.Shapes
 	}
+	//eblow:nondet-ok per-entry normalization of independent values; no cross-key state
 	for _, ss := range out {
 		if ss.Strategies == nil {
 			ss.Strategies = make(map[string]*StrategyStats)
@@ -292,6 +293,7 @@ func writeFileAtomic(path string, stats map[string]*ShapeStats) error {
 // mergeInto adds src's counts into dst (dst takes ownership of nothing in
 // src; every merged entry is copied or added field-wise).
 func mergeInto(dst, src map[string]*ShapeStats) {
+	//eblow:nondet-ok each key merges only into dst[key]; no cross-key accumulation, so order cannot reach any result
 	for key, ss := range src {
 		d := dst[key]
 		if d == nil {
@@ -299,6 +301,7 @@ func mergeInto(dst, src map[string]*ShapeStats) {
 			dst[key] = d
 		}
 		d.Races += ss.Races
+		//eblow:nondet-ok per-strategy field-wise merge into dst's matching entry; commutative across keys
 		for name, s := range ss.Strategies {
 			ds := d.Strategies[name]
 			if ds == nil {
@@ -312,6 +315,7 @@ func mergeInto(dst, src map[string]*ShapeStats) {
 
 func copyStats(src map[string]*ShapeStats) map[string]*ShapeStats {
 	out := make(map[string]*ShapeStats, len(src))
+	//eblow:nondet-ok map-to-map copy; the result is a map, so order is unobservable
 	for key, ss := range src {
 		out[key] = copyShape(ss)
 	}
@@ -320,6 +324,7 @@ func copyStats(src map[string]*ShapeStats) map[string]*ShapeStats {
 
 func copyShape(ss *ShapeStats) *ShapeStats {
 	cp := &ShapeStats{Races: ss.Races, Strategies: make(map[string]*StrategyStats, len(ss.Strategies))}
+	//eblow:nondet-ok map-to-map copy; the result is a map, so order is unobservable
 	for name, s := range ss.Strategies {
 		sc := *s
 		cp.Strategies[name] = &sc

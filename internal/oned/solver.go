@@ -513,11 +513,24 @@ func (s *solver) fastConvergence() {
 		rowTerms[p.row] = append(rowTerms[p.row], lp.Term{Var: v, Coeff: float64(s.effW[p.char])})
 		charTerms[p.char] = append(charTerms[p.char], lp.Term{Var: v, Coeff: 1})
 	}
-	for row, terms := range rowTerms {
-		prob.AddConstraint(terms, lp.LE, caps[row])
+	// Constraint order shapes the simplex pivot sequence and the B&B
+	// tree, so it must not come from map iteration: add rows and chars in
+	// sorted key order to keep the fast-ILP plan bit-identical run to run.
+	rows := make([]int, 0, len(rowTerms))
+	for row := range rowTerms {
+		rows = append(rows, row)
 	}
-	for _, terms := range charTerms {
-		prob.AddConstraint(terms, lp.LE, 1)
+	sort.Ints(rows)
+	for _, row := range rows {
+		prob.AddConstraint(rowTerms[row], lp.LE, caps[row])
+	}
+	chars := make([]int, 0, len(charTerms))
+	for c := range charTerms {
+		chars = append(chars, c)
+	}
+	sort.Ints(chars)
+	for _, c := range chars {
+		prob.AddConstraint(charTerms[c], lp.LE, 1)
 	}
 	// The ILP engine keeps its result worker-count independent, so handing
 	// it the planner's worker budget preserves the deterministic-plan

@@ -295,7 +295,12 @@ func entrants(in *core.Instance, opt Options) ([]*solver.Entry, error) {
 			delete(allowed, e.Name)
 		}
 	}
-	for n := range allowed {
+	// Report leftovers in the caller's order, not map order, so the same
+	// bad filter always produces the same error.
+	for _, n := range opt.Only {
+		if !allowed[n] {
+			continue
+		}
 		if n == "portfolio" {
 			return nil, errors.New("portfolio: the race cannot contain itself; drop \"portfolio\" from Only")
 		}

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,9 +59,11 @@ type AuthKey struct {
 	// rate limiting for the key).
 	Rate, Burst float64
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// guarded by mu — current token-bucket fill
 	tokens float64
-	last   time.Time
+	// guarded by mu — last refill instant
+	last time.Time
 }
 
 // allow takes one token from the key's bucket, refilling by elapsed time.
@@ -89,7 +92,10 @@ func (k *AuthKey) allow(now time.Time) bool {
 
 // Keyring holds the static API keys the middleware authenticates against.
 type Keyring struct {
-	keys []*AuthKey // lookup iterates: constant-time compare per secret
+	// immutable after construction — sorted by key name at parse time so
+	// iteration order is canonical regardless of key-file line order;
+	// lookup iterates the whole slice: constant-time compare per secret
+	keys []*AuthKey
 }
 
 // Len returns the number of loaded keys.
@@ -161,6 +167,9 @@ func ParseKeyring(r io.Reader) (*Keyring, error) {
 	if len(kr.keys) == 0 {
 		return nil, errors.New("no keys defined")
 	}
+	// Canonical order: lookup latency and any future iteration over the
+	// keyring must not depend on the line order of the key file.
+	sort.Slice(kr.keys, func(i, j int) bool { return kr.keys[i].Name < kr.keys[j].Name })
 	return kr, nil
 }
 

@@ -220,13 +220,20 @@ type Manager struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu         sync.Mutex
-	jobs       map[string]*job
-	order      []string
-	pending    int            // jobs in StateQueued
-	keyPending map[string]int // StateQueued jobs per API key
-	nextID     int
-	closed     bool
+	mu sync.Mutex
+	// guarded by mu
+	jobs map[string]*job
+	// guarded by mu — submission order of the keys of jobs; every
+	// snapshot/replay iteration walks this, never the map
+	order []string
+	// guarded by mu — jobs in StateQueued
+	pending int
+	// guarded by mu — StateQueued jobs per API key
+	keyPending map[string]int
+	// guarded by mu
+	nextID int
+	// guarded by mu
+	closed bool
 }
 
 // New starts a manager with cfg.Workers pool workers. A positive
@@ -660,8 +667,10 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	for _, j := range m.jobs {
-		if j.state == StateRunning {
+	// Walk in submission order (m.order), not map order, so shutdown
+	// touches jobs in the same sequence on every run.
+	for _, id := range m.order {
+		if j := m.jobs[id]; j.state == StateRunning {
 			j.interrupted = true
 		}
 	}

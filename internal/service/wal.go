@@ -135,21 +135,30 @@ type WAL struct {
 	path     string
 	maxBytes int64
 
-	mu           sync.Mutex
-	f            *os.File
-	w            *bufio.Writer
-	size         int64
-	dirty        bool
-	waiters      []chan error
-	closed       bool
+	mu sync.Mutex
+	// guarded by mu
+	f *os.File
+	// guarded by mu
+	w *bufio.Writer
+	// guarded by mu
+	size int64
+	// guarded by mu
+	dirty bool
+	// guarded by mu
+	waiters []chan error
+	// guarded by mu
+	closed bool
+	// guarded by mu
 	compactFloor int64 // minimum size before the next compaction attempt
 
 	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
 
-	replay []walRecord // parsed at open, consumed once by Manager.New
-	stats  WALStats
+	// guarded by mu — parsed at open, consumed once by Manager.New
+	replay []walRecord
+	// guarded by mu
+	stats WALStats
 }
 
 // ErrWALClosed is returned by WAL operations after Close.
@@ -200,24 +209,28 @@ func (w *WAL) load() error {
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
+	var recs []walRecord
+	var skipped int
 	for {
 		line, err := r.ReadBytes('\n')
 		if len(bytes.TrimSpace(line)) > 0 {
 			var rec walRecord
 			if json.Unmarshal(line, &rec) != nil || rec.Op == "" || rec.Job == "" {
-				w.stats.SkippedLines++
+				skipped++
 			} else {
-				w.replay = append(w.replay, rec)
-				w.stats.Records++
+				recs = append(recs, rec)
 			}
 		}
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if err != nil {
 			return fmt.Errorf("service: reading WAL: %w", err)
 		}
 	}
+	//eblow:nondet-ok open-time load: the flusher goroutine does not exist yet, so nothing can race this publication
+	w.replay, w.stats = recs, WALStats{Records: len(recs), SkippedLines: skipped}
+	return nil
 }
 
 // Path returns the log's file path.
