@@ -12,6 +12,7 @@
 //	ospbench -portfolio 2D-1 -timeout 20s
 //	ospbench -workers-sweep 1T-3 -sweep-workers 1,2,4,8 -exact-time 10s
 //	ospbench -perf small-1M -bench-json BENCH_small-1M.json
+//	ospbench -lp-perf small-1M -bench-json BENCH_lp.json
 //	ospbench -learn-replay 2T-1,2T-2,2T-3,2T-4 -learn-path stats.json
 package main
 
@@ -48,6 +49,7 @@ func main() {
 		portfolio    = flag.String("portfolio", "", "race the solver portfolio on this benchmark case (e.g. 2D-1), once with 1 worker and once with -workers, and report both wall-clock times")
 		workersSweep = flag.String("workers-sweep", "", "run the exact branch and bound on this benchmark case (e.g. 1T-3) at every -sweep-workers count and report the node-throughput scaling curve")
 		perf         = flag.String("perf", "", "measure the solver hot paths on this case (e.g. small-1M, 1M-5, small-2M): annealer moves/sec for 2D, solve + relaxation wall-clock at 1 and -workers workers for 1D")
+		lpPerf       = flag.String("lp-perf", "", "measure the sparse LP engine on this 1D case: relaxation pivots/sec with the simplex backend, and the warm-vs-cold re-solve pivot ratio the dual-simplex warm starts buy")
 		benchJSON    = flag.String("bench-json", "", "write the -perf record as JSON to this file (the BENCH_*.json perf trajectory)")
 		learnReplay  = flag.String("learn-replay", "", "replay this comma-separated benchmark case list through recorded portfolio races to warm the -learn-path store, then print the learned race ordering vs the static one per case")
 		learnPath    = flag.String("learn-path", "", "JSON statistics store for -learn-replay (\"\" uses a throwaway in-memory store)")
@@ -83,6 +85,8 @@ func main() {
 	switch {
 	case *learnReplay != "":
 		fail(replayLearn(ctx, *learnReplay, *learnPath, *learnRounds, *workers, *restarts, *seed, *timeout))
+	case *lpPerf != "":
+		fail(runLPPerf(ctx, *lpPerf, *benchJSON))
 	case *perf != "":
 		fail(runPerf(ctx, *perf, *workers, *seed, *benchJSON))
 	case *workersSweep != "":
@@ -255,6 +259,115 @@ func runPerf(ctx context.Context, caseName string, workers int, seed int64, json
 			return err
 		}
 		fmt.Printf("perf record written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// lpPerfRecord is one -lp-perf measurement, shaped for the BENCH_lp.json
+// perf trajectory. All counts come from Workers=1 runs so they are
+// deterministic run to run; only PivotsPerSec carries wall clock.
+type lpPerfRecord struct {
+	Case string `json:"case"`
+	Kind string `json:"kind"`
+
+	// Successive-rounding relaxation with the simplex backend (warm run).
+	RelaxSolves    int     `json:"relaxSolves"`
+	RelaxPivots    int     `json:"relaxPivots"`
+	RelaxElapsedUs int64   `json:"relaxElapsedUs"`
+	PivotsPerSec   float64 `json:"pivotsPerSec"`
+
+	// Re-solves (block solves for which a previous basis existed), warm run
+	// vs an identical planner run with ColdLP. The modes may take different
+	// iteration counts (degenerate relaxations can stop at different optimal
+	// vertices), so the ratio compares per-solve averages.
+	WarmResolves         int     `json:"warmResolves"`
+	WarmResolvePivots    int     `json:"warmResolvePivots"`
+	ColdResolves         int     `json:"coldResolves"`
+	ColdResolvePivots    int     `json:"coldResolvePivots"`
+	WarmColdResolveRatio float64 `json:"warmColdResolveRatio"`
+
+	// Fast-ILP-convergence branch and bound: total node-relaxation pivots
+	// with parent-basis warm starts vs cold.
+	FastILPPivotsWarm int `json:"fastIlpPivotsWarm"`
+	FastILPPivotsCold int `json:"fastIlpPivotsCold"`
+}
+
+// runLPPerf runs the 1D planner twice on one case with the simplex LP
+// backend — once with warm starts (the default) and once with ColdLP — and
+// reports the relaxation pivot throughput plus the warm-vs-cold re-solve
+// pivot ratio. The perf trajectory gates warm starts staying cheap: the
+// target is warm re-solves within 10% of the cold pivot count on the
+// golden families.
+func runLPPerf(ctx context.Context, caseName, jsonPath string) error {
+	in, err := perfInstance(caseName)
+	if err != nil {
+		return err
+	}
+	if in.Kind != core.OneD {
+		return fmt.Errorf("-lp-perf needs a 1D case; %s is %s", in.Name, in.Kind)
+	}
+	solve := func(cold bool) (*oned.Trace, error) {
+		opt := oned.Defaults()
+		opt.Backend = oned.SimplexLP
+		opt.Workers = 1
+		opt.ColdLP = cold
+		_, trace, err := oned.Solve(ctx, in, opt)
+		return trace, err
+	}
+	warm, err := solve(false)
+	if err != nil {
+		return err
+	}
+	cold, err := solve(true)
+	if err != nil {
+		return err
+	}
+
+	rec := lpPerfRecord{
+		Case: in.Name, Kind: in.Kind.String(),
+		RelaxSolves:       warm.RelaxSolves,
+		RelaxPivots:       warm.RelaxPivots,
+		RelaxElapsedUs:    warm.RelaxElapsed.Microseconds(),
+		WarmResolves:      warm.RelaxResolves,
+		WarmResolvePivots: warm.RelaxResolvePivots,
+		ColdResolves:      cold.RelaxResolves,
+		ColdResolvePivots: cold.RelaxResolvePivots,
+		FastILPPivotsWarm: warm.FastILPPivots,
+		FastILPPivotsCold: cold.FastILPPivots,
+	}
+	if s := warm.RelaxElapsed.Seconds(); s > 0 {
+		rec.PivotsPerSec = float64(warm.RelaxPivots) / s
+	}
+	if rec.WarmResolves > 0 && rec.ColdResolves > 0 && rec.ColdResolvePivots > 0 {
+		warmPer := float64(rec.WarmResolvePivots) / float64(rec.WarmResolves)
+		coldPer := float64(rec.ColdResolvePivots) / float64(rec.ColdResolves)
+		rec.WarmColdResolveRatio = warmPer / coldPer
+	}
+
+	fmt.Printf("%s (%s): %d relaxation solves, %d pivots in %s -> %.0f pivots/sec\n",
+		in.Name, in.Kind, rec.RelaxSolves, rec.RelaxPivots,
+		warm.RelaxElapsed.Round(time.Microsecond), rec.PivotsPerSec)
+	fmt.Printf("re-solves: warm %d pivots over %d solves, cold %d pivots over %d solves -> warm/cold ratio %.3f\n",
+		rec.WarmResolvePivots, rec.WarmResolves, rec.ColdResolvePivots, rec.ColdResolves,
+		rec.WarmColdResolveRatio)
+	fmt.Printf("fast-ILP branch and bound: %d pivots warm-started, %d cold\n",
+		rec.FastILPPivotsWarm, rec.FastILPPivotsCold)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("lp perf record written to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ var deterministicPkgs = map[string]bool{
 	"eblow/internal/ilp":       true,
 	"eblow/internal/exact":     true,
 	"eblow/internal/lp":        true,
+	"eblow/internal/lp/mps":    true,
 	"eblow/internal/pack2d":    true,
 	"eblow/internal/floorsa":   true,
 	"eblow/internal/seqpair":   true,

@@ -56,6 +56,12 @@ type node struct {
 	bounds []boundChange
 	bound  float64 // LP relaxation value at the parent (sign-adjusted, optimistic)
 	depth  int
+	// basis is the parent relaxation's optimal basis (nil at a cold
+	// root). A child differs from its parent by one bound, so the parent
+	// basis is dual-feasible for the child and the warm re-solve needs a
+	// handful of dual pivots instead of a full cold solve. The pointer is
+	// shared between siblings and never mutated.
+	basis *lp.Basis
 }
 
 type boundChange struct {
@@ -107,6 +113,7 @@ type engine struct {
 	incBound atomic.Value
 
 	nodes         int // fully evaluated nodes (conclusive LP status)
+	lpIters       int // simplex pivots across merged node relaxations
 	dropped       bool
 	rootUnbounded bool
 }
@@ -129,7 +136,11 @@ func newEngine(p *Problem, opt Options, workers int, stop <-chan struct{}) *engi
 		e.clones[w].Stop = stop
 	}
 	e.incBound.Store(math.Inf(-1))
-	heap.Push(&e.queue, &node{seq: 0, bound: math.Inf(1)})
+	root := &node{seq: 0, bound: math.Inf(1)}
+	if !opt.ColdLP {
+		root.basis = opt.RootBasis
+	}
+	heap.Push(&e.queue, root)
 	e.nextSeq = 1
 	return e
 }
@@ -169,7 +180,13 @@ func (e *engine) nextBatch(limit int) []*node {
 }
 
 // solveNode solves the node's LP relaxation on the given per-worker clone:
-// reset to the root bounds, apply the node's branching decisions, solve.
+// reset to the root bounds, apply the node's branching decisions, solve —
+// warm-started from the parent's basis unless Options.ColdLP. The node's
+// relaxation is a pure function of (bounds, parent basis), and bases
+// propagate through the deterministic merge order, so the search trace is
+// bit-identical at every worker count. Warm vs cold agreement (same
+// objective always; same vertex on the golden families) is gated by the
+// warm-start tests — see docs/INVARIANTS.md.
 func (e *engine) solveNode(clone *lp.Problem, nd *node) (*lp.Result, error) {
 	for j := 0; j < e.n; j++ {
 		clone.SetBounds(j, e.origLo[j], e.origHi[j])
@@ -177,7 +194,10 @@ func (e *engine) solveNode(clone *lp.Problem, nd *node) (*lp.Result, error) {
 	for _, bc := range nd.bounds {
 		clone.SetBounds(bc.v, bc.lo, bc.hi)
 	}
-	return lp.Solve(clone)
+	if e.opt.ColdLP {
+		return lp.Solve(clone)
+	}
+	return lp.SolveWarm(clone, nd.basis)
 }
 
 // deque is one worker's share of a round: a contiguous slice of batch
@@ -325,6 +345,7 @@ func (e *engine) evaluate(batch []*node, stop <-chan struct{}) ([]*lp.Result, []
 // the earlier node in (bound, seq) order). Callers invoke merge in batch
 // order, which makes the whole search trace worker-count independent.
 func (e *engine) merge(nd *node, lpRes *lp.Result) {
+	e.lpIters += lpRes.Iters
 	switch lpRes.Status {
 	case lp.Infeasible:
 		e.nodes++
@@ -385,12 +406,18 @@ func (e *engine) merge(nd *node, lpRes *lp.Result) {
 		return
 	}
 
-	// Branch; children get their deterministic ids in merge order.
+	// Branch; children get their deterministic ids in merge order and
+	// share their parent's optimal basis as the warm start (nil when the
+	// backend does not produce one or ColdLP is set).
 	xv := lpRes.X[branchVar]
 	lo, hi := e.origLo[branchVar], e.origHi[branchVar]
 	b := signAdjust(obj, e.opt.Maximize)
-	loNode := &node{seq: e.nextSeq, bounds: appendBound(nd.bounds, boundChange{branchVar, lo, math.Floor(xv)}), bound: b, depth: nd.depth + 1}
-	hiNode := &node{seq: e.nextSeq + 1, bounds: appendBound(nd.bounds, boundChange{branchVar, math.Ceil(xv), hi}), bound: b, depth: nd.depth + 1}
+	var wb *lp.Basis
+	if !e.opt.ColdLP {
+		wb = lpRes.Basis
+	}
+	loNode := &node{seq: e.nextSeq, bounds: appendBound(nd.bounds, boundChange{branchVar, lo, math.Floor(xv)}), bound: b, depth: nd.depth + 1, basis: wb}
+	hiNode := &node{seq: e.nextSeq + 1, bounds: appendBound(nd.bounds, boundChange{branchVar, math.Ceil(xv), hi}), bound: b, depth: nd.depth + 1, basis: wb}
 	e.nextSeq += 2
 	heap.Push(&e.queue, loNode)
 	heap.Push(&e.queue, hiNode)

@@ -97,6 +97,17 @@ type Options struct {
 	// worker count; Nodes may differ because a faster incumbent lets the
 	// engine skip relaxations it would otherwise have evaluated.
 	Workers int
+	// RootBasis warm-starts the root relaxation (and, transitively, the
+	// whole tree: every child node starts from its parent's optimal
+	// basis). The basis is shared read-only and never mutated. Callers
+	// that re-solve a drifting problem — the 1D planner's successive
+	// rounding — pass the previous solve's basis here.
+	RootBasis *lp.Basis
+	// ColdLP disables warm starts: every node relaxation is solved from
+	// scratch. The search trace is identical either way (the LP optimum
+	// is basis-independent); this exists for benchmarking the warm-start
+	// pivot savings and as an escape hatch.
+	ColdLP bool
 }
 
 // Result is the outcome of a solve.
@@ -113,6 +124,11 @@ type Result struct {
 	Nodes     int
 	BestBound float64
 	Elapsed   time.Duration
+	// LPPivots sums the simplex iterations of every merged node
+	// relaxation. Like Nodes it is deterministic at Workers=1; across
+	// worker counts it may differ (skipped nodes never solve their LP)
+	// even though the result never does.
+	LPPivots int
 }
 
 // ErrBadProblem reports a structurally invalid problem.
@@ -210,6 +226,7 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	}
 
 	res.Nodes = e.nodes
+	res.LPPivots = e.lpIters
 	res.Elapsed = time.Since(start)
 	if e.rootUnbounded {
 		res.Status = Unbounded

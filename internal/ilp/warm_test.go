@@ -1,0 +1,60 @@
+package ilp
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// Warm starts must never change what the solver returns — only how many
+// pivots it spends getting there. Every (warm|cold) x (worker count)
+// combination solves to bit-identical status, objective and solution (run
+// under -race in CI).
+func TestWarmColdWorkersBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		n := 6 + int(seed)%8
+		prob := randomBinaryProgram(seed, n, 3)
+		ref, err := Solve(context.Background(), prob, Options{Maximize: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cold := range []bool{false, true} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				got, err := Solve(context.Background(), prob, Options{
+					Maximize: true, Workers: workers, ColdLP: cold,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				identicalResults(t, ref, got, fmt.Sprintf("seed %d cold=%v workers=%d", seed, cold, workers))
+			}
+		}
+	}
+}
+
+// The point of handing each child its parent's basis: across a spread of
+// branch-and-bound trees the warm runs must spend strictly fewer total
+// simplex pivots than the cold runs. Aggregated over the seeds so a single
+// degenerate tree cannot flake the assertion; Workers=1 keeps LPPivots
+// deterministic.
+func TestWarmStartSavesPivots(t *testing.T) {
+	var warmTotal, coldTotal int
+	for seed := int64(1); seed <= 12; seed++ {
+		n := 8 + int(seed)%8
+		prob := randomBinaryProgram(seed, n, 4)
+		warm, err := Solve(context.Background(), prob, Options{Maximize: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Solve(context.Background(), prob, Options{Maximize: true, Workers: 1, ColdLP: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmTotal += warm.LPPivots
+		coldTotal += cold.LPPivots
+	}
+	if warmTotal >= coldTotal {
+		t.Errorf("warm starts spent %d pivots, cold %d; expected strict savings", warmTotal, coldTotal)
+	}
+	t.Logf("warm %d pivots vs cold %d (%.1f%%)", warmTotal, coldTotal, 100*float64(warmTotal)/float64(coldTotal))
+}

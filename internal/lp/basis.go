@@ -1,0 +1,55 @@
+package lp
+
+// VarStatus is the simplex status of one variable. The sparse revised
+// simplex works on the standard form  A x + s = b  with one logical
+// (slack) variable s_i per row, so a basis assigns a status to every
+// structural variable and every logical.
+type VarStatus int8
+
+const (
+	// AtLower marks a nonbasic variable sitting at its lower bound.
+	AtLower VarStatus = iota
+	// AtUpper marks a nonbasic variable sitting at its upper bound.
+	AtUpper
+	// NonbasicFree marks a nonbasic free variable, held at value 0.
+	NonbasicFree
+	// Basic marks a basic variable; its value is determined by the solve.
+	Basic
+)
+
+// Basis is a simplex basis in variable-status form: one status per
+// structural variable followed by one per row logical, in problem order.
+// The status form survives problem edits better than an explicit basis
+// heading — a warm start maps statuses for the variables that still exist
+// and the solver repairs the basic count and any singularity — which is
+// what lets branch-and-bound children and successive-rounding re-solves
+// start from their parent's basis.
+//
+// A Basis returned by a solve is immutable by convention: warm-start
+// consumers share the pointer (a branch-and-bound node hands the same
+// parent basis to both children), so callers must Clone before mutating.
+type Basis struct {
+	// Status has length NumVars()+NumConstraints() of the problem the
+	// basis was derived from: structural variables first, then one
+	// logical per constraint row.
+	Status []VarStatus
+}
+
+// Clone returns an independent copy of the basis.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	return &Basis{Status: append([]VarStatus(nil), b.Status...)}
+}
+
+// NumBasic returns the number of variables with Basic status.
+func (b *Basis) NumBasic() int {
+	n := 0
+	for _, st := range b.Status {
+		if st == Basic {
+			n++
+		}
+	}
+	return n
+}

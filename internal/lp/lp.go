@@ -1,8 +1,8 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs. It is the drop-in substitute for the commercial LP/ILP solver
-// (GUROBI) used by the E-BLOW paper: the planner only needs LP relaxation
-// values and vertex solutions of small and medium sized programs, plus an
-// exact backend for the branch-and-bound ILP solver in package ilp.
+// Package lp implements linear-programming solvers for the planner. It is
+// the drop-in substitute for the commercial LP/ILP solver (GUROBI) used by
+// the E-BLOW paper: the planner only needs LP relaxation values and vertex
+// solutions of small and medium sized programs, plus an exact backend for
+// the branch-and-bound ILP solver in package ilp.
 //
 // Problems are stated as
 //
@@ -10,9 +10,15 @@
 //	subject to              a_i'x  (<=, =, >=)  b_i        for every row i
 //	                        lo_j <= x_j <= up_j             for every column j
 //
-// Lower bounds default to 0 and upper bounds to +inf. Upper bounds are
-// handled by adding explicit rows, which keeps the solver simple; the
-// problems solved in this repository have at most a few thousand rows.
+// Lower bounds default to 0 and upper bounds to +inf.
+//
+// Two solver backends are registered (see Backend): "sparse", the default,
+// is a revised simplex over a CSC matrix with an LU-factorized basis,
+// product-form updates, native bounded variables, a presolve/postsolve
+// pass and dual-simplex warm starts (SolveWarm); "dense" is the original
+// two-phase tableau simplex, kept as the property-test oracle. The sparse
+// backend additionally accepts free variables (lower bound -inf), which
+// the dense backend rejects.
 package lp
 
 import (
@@ -190,6 +196,19 @@ func (p *Problem) LowerBound(j int) float64 { return p.lower[j] }
 // UpperBound returns the upper bound of variable j.
 func (p *Problem) UpperBound(j int) float64 { return p.upper[j] }
 
+// ObjectiveCoeff returns the objective coefficient of variable j.
+func (p *Problem) ObjectiveCoeff(j int) float64 { return p.obj[j] }
+
+// Maximize reports whether the objective is maximized.
+func (p *Problem) Maximize() bool { return p.maximize }
+
+// Constraint returns row i as (terms, op, rhs). The term slice is a copy
+// and safe to retain or modify.
+func (p *Problem) Constraint(i int) ([]Term, Op, float64) {
+	c := p.cons[i]
+	return append([]Term(nil), c.terms...), c.op, c.rhs
+}
+
 // AddConstraint appends the row  sum(terms) op rhs. Terms referencing the
 // same variable are accumulated.
 func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) {
@@ -223,6 +242,11 @@ type Result struct {
 	Objective float64
 	X         []float64
 	Iters     int
+
+	// Basis is the optimal simplex basis in status form, set by backends
+	// that support warm starts (the sparse backend) on Optimal solves.
+	// It is shared immutably: Clone before mutating.
+	Basis *Basis
 }
 
 // ErrBadProblem reports a structurally invalid problem.
@@ -230,10 +254,27 @@ var ErrBadProblem = errors.New("lp: invalid problem")
 
 const eps = 1e-9
 
-// Solve runs the two-phase simplex method and returns the result. The
-// returned error is non-nil only for structurally invalid problems; an
-// infeasible or unbounded model is reported through Result.Status.
+// Solve runs the default backend (the sparse revised simplex with
+// presolve) and returns the result. The returned error is non-nil only
+// for structurally invalid problems; an infeasible or unbounded model is
+// reported through Result.Status.
 func Solve(p *Problem) (*Result, error) {
+	return defaultBackend().Solve(p, nil)
+}
+
+// SolveWarm solves p starting from a previous basis. The warm basis is
+// not modified; branch-and-bound children and successive-rounding
+// re-solves share parent bases by pointer. A nil warm basis (or a backend
+// without warm-start support) falls back to a cold solve. Warm solves
+// skip presolve — the basis indexes the full variable space.
+func SolveWarm(p *Problem, warm *Basis) (*Result, error) {
+	return defaultBackend().Solve(p, warm)
+}
+
+// solveDense runs the dense two-phase tableau simplex. Unlike the sparse
+// backend it cannot represent free variables (lower bound -inf) and
+// reports them as ErrBadProblem.
+func solveDense(p *Problem) (*Result, error) {
 	for j := 0; j < p.numVars; j++ {
 		if p.lower[j] > p.upper[j]+eps {
 			return &Result{Status: Infeasible}, nil

@@ -1,0 +1,450 @@
+// Package mps reads and writes linear programs in the (free-format) MPS
+// interchange format, so any relaxation the planner builds can be
+// exported and cross-checked against an external LP solver, and external
+// models can be replayed through the in-tree backends.
+//
+// The dialect is the common free-format subset: sections NAME, OBJSENSE
+// (MAXIMIZE/MINIMIZE), ROWS (N/L/G/E), COLUMNS, RHS, BOUNDS (UP, LO, FX,
+// FR, MI, PL) and ENDATA; fields are whitespace-separated, '*' starts a
+// comment line. The first N row is the objective; further N rows are
+// ignored (free rows). Writing renames rows and columns to canonical
+// R0..Rm-1 / C0..Cn-1 identifiers — lp.Problem tracks variables by index,
+// not by name — so Read(Write(Read(x))) is a fixpoint after the first
+// round trip.
+package mps
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"eblow/internal/lp"
+)
+
+// Model is a named linear program, the unit of MPS interchange.
+type Model struct {
+	// Name is the NAME-section identifier. Write sanitizes it to
+	// [A-Za-z0-9_.-] and substitutes "LP" when empty.
+	Name string
+	// Problem is the program itself.
+	Problem *lp.Problem
+}
+
+// Read parses a free-format MPS model.
+func Read(r io.Reader) (*Model, error) {
+	p := &parser{
+		rowIdx: map[string]int{},
+		colIdx: map[string]int{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '*'); i == 0 {
+			continue // comment line
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.line(line, fields); err != nil {
+			return nil, fmt.Errorf("mps: line %d: %w", lineNo, err)
+		}
+		if p.done {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mps: %w", err)
+	}
+	return p.finish()
+}
+
+// ReadBytes parses a free-format MPS model from a byte slice.
+func ReadBytes(data []byte) (*Model, error) {
+	return Read(strings.NewReader(string(data)))
+}
+
+type rowDef struct {
+	name string
+	op   lp.Op
+}
+
+type colEntry struct {
+	row int // index into rows, -1 for the objective row
+	val float64
+}
+
+type colDef struct {
+	name    string
+	entries []colEntry
+	obj     float64
+
+	// Bound bookkeeping: MPS defaults are [0, +inf), an UP bound with no
+	// prior LO keeps lo at 0 (negative UP values historically imply a
+	// free lower bound; we follow the common modern reading and keep 0
+	// unless MI/LO say otherwise).
+	lo, up   float64
+	loSet    bool
+	freeLow  bool
+	fixedVal float64
+	isFixed  bool
+}
+
+type parser struct {
+	name    string
+	section string
+	done    bool
+
+	maximize bool
+
+	objName string
+	objSeen bool
+
+	rows   []rowDef
+	rowIdx map[string]int
+	rhs    []float64
+
+	cols   []*colDef
+	colIdx map[string]int
+
+	freeRows map[string]bool
+}
+
+func (p *parser) col(name string) *colDef {
+	if i, ok := p.colIdx[name]; ok {
+		return p.cols[i]
+	}
+	c := &colDef{name: name, up: math.Inf(1)}
+	p.colIdx[name] = len(p.cols)
+	p.cols = append(p.cols, c)
+	return c
+}
+
+func parseNum(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite number %q", s)
+	}
+	return v, nil
+}
+
+func (p *parser) line(raw string, fields []string) error {
+	// Section headers start in column one; data lines are indented.
+	indented := raw[0] == ' ' || raw[0] == '\t'
+	if !indented {
+		head := strings.ToUpper(fields[0])
+		switch head {
+		case "NAME":
+			if len(fields) > 1 {
+				p.name = fields[1]
+			}
+			p.section = "NAME"
+			return nil
+		case "OBJSENSE", "ROWS", "COLUMNS", "RHS", "RANGES", "BOUNDS":
+			p.section = head
+			return nil
+		case "ENDATA":
+			p.done = true
+			return nil
+		default:
+			return fmt.Errorf("unknown section %q", fields[0])
+		}
+	}
+	switch p.section {
+	case "OBJSENSE":
+		switch strings.ToUpper(fields[0]) {
+		case "MAX", "MAXIMIZE":
+			p.maximize = true
+		case "MIN", "MINIMIZE":
+			p.maximize = false
+		default:
+			return fmt.Errorf("bad OBJSENSE %q", fields[0])
+		}
+	case "ROWS":
+		if len(fields) < 2 {
+			return fmt.Errorf("ROWS line needs type and name")
+		}
+		typ := strings.ToUpper(fields[0])
+		name := fields[1]
+		switch typ {
+		case "N":
+			if !p.objSeen {
+				p.objSeen = true
+				p.objName = name
+			} else {
+				if p.freeRows == nil {
+					p.freeRows = map[string]bool{}
+				}
+				p.freeRows[name] = true
+			}
+			return nil
+		case "L", "G", "E":
+			if _, dup := p.rowIdx[name]; dup || name == p.objName {
+				return fmt.Errorf("duplicate row %q", name)
+			}
+			op := lp.LE
+			if typ == "G" {
+				op = lp.GE
+			} else if typ == "E" {
+				op = lp.EQ
+			}
+			p.rowIdx[name] = len(p.rows)
+			p.rows = append(p.rows, rowDef{name: name, op: op})
+			p.rhs = append(p.rhs, 0)
+			return nil
+		default:
+			return fmt.Errorf("bad row type %q", fields[0])
+		}
+	case "COLUMNS":
+		// Ignore integrality MARKER lines; this reader targets LPs.
+		if len(fields) >= 2 && strings.HasPrefix(strings.ToUpper(fields[1]), "'MARKER'") {
+			return nil
+		}
+		if len(fields) < 3 || len(fields)%2 == 0 {
+			return fmt.Errorf("COLUMNS line needs name and row/value pairs")
+		}
+		c := p.col(fields[0])
+		for k := 1; k+1 < len(fields); k += 2 {
+			rowName := fields[k]
+			v, err := parseNum(fields[k+1])
+			if err != nil {
+				return err
+			}
+			if rowName == p.objName && p.objSeen {
+				c.obj += v
+				continue
+			}
+			if p.freeRows[rowName] {
+				continue
+			}
+			ri, ok := p.rowIdx[rowName]
+			if !ok {
+				return fmt.Errorf("unknown row %q", rowName)
+			}
+			c.entries = append(c.entries, colEntry{row: ri, val: v})
+		}
+	case "RHS":
+		if len(fields) < 3 || len(fields)%2 == 0 {
+			return fmt.Errorf("RHS line needs set name and row/value pairs")
+		}
+		for k := 1; k+1 < len(fields); k += 2 {
+			rowName := fields[k]
+			v, err := parseNum(fields[k+1])
+			if err != nil {
+				return err
+			}
+			if rowName == p.objName || p.freeRows[rowName] {
+				continue
+			}
+			ri, ok := p.rowIdx[rowName]
+			if !ok {
+				return fmt.Errorf("unknown row %q", rowName)
+			}
+			p.rhs[ri] = v
+		}
+	case "RANGES":
+		return fmt.Errorf("RANGES section not supported")
+	case "BOUNDS":
+		if len(fields) < 3 {
+			return fmt.Errorf("BOUNDS line needs type, set and column")
+		}
+		typ := strings.ToUpper(fields[0])
+		c := p.col(fields[2])
+		needVal := typ == "UP" || typ == "LO" || typ == "FX"
+		var v float64
+		if needVal {
+			if len(fields) < 4 {
+				return fmt.Errorf("bound %s needs a value", typ)
+			}
+			var err error
+			if v, err = parseNum(fields[3]); err != nil {
+				return err
+			}
+		}
+		switch typ {
+		case "UP":
+			c.up = v
+			c.isFixed = false
+		case "LO":
+			c.lo = v
+			c.loSet = true
+			c.freeLow = false
+			c.isFixed = false
+		case "FX":
+			c.isFixed = true
+			c.fixedVal = v
+		case "FR":
+			c.freeLow = true
+			c.up = math.Inf(1)
+			c.isFixed = false
+		case "MI":
+			c.freeLow = true
+			c.isFixed = false
+		case "PL":
+			c.up = math.Inf(1)
+			c.isFixed = false
+		default:
+			return fmt.Errorf("bad bound type %q", fields[0])
+		}
+	case "NAME", "":
+		return fmt.Errorf("data line outside a section")
+	default:
+		return fmt.Errorf("data line in unknown section %q", p.section)
+	}
+	return nil
+}
+
+func (p *parser) finish() (*Model, error) {
+	if !p.done {
+		return nil, fmt.Errorf("mps: missing ENDATA")
+	}
+	prob := lp.NewProblem(len(p.cols))
+	prob.SetMaximize(p.maximize)
+	for j, c := range p.cols {
+		prob.SetObjectiveCoeff(j, c.obj)
+		lo, up := c.lo, c.up
+		if !c.loSet && c.freeLow {
+			lo = math.Inf(-1)
+		}
+		if c.isFixed {
+			lo, up = c.fixedVal, c.fixedVal
+		}
+		if lo > up {
+			return nil, fmt.Errorf("mps: column %q has crossing bounds", c.name)
+		}
+		prob.SetBounds(j, lo, up)
+	}
+	// Gather rows column-major first, then emit row-major with terms in
+	// column order — deterministic regardless of input interleaving.
+	rowTerms := make([][]lp.Term, len(p.rows))
+	for j, c := range p.cols {
+		for _, e := range c.entries {
+			rowTerms[e.row] = append(rowTerms[e.row], lp.Term{Var: j, Coeff: e.val})
+		}
+	}
+	for i, rd := range p.rows {
+		prob.AddConstraint(rowTerms[i], rd.op, p.rhs[i])
+	}
+	return &Model{Name: p.name, Problem: prob}, nil
+}
+
+// sanitizeName strips a NAME identifier to [A-Za-z0-9_.-], returning "LP"
+// when nothing survives. The function is idempotent, which is what makes
+// Write ∘ Read a fixpoint.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "LP"
+	}
+	return b.String()
+}
+
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+// Write emits the model in free-format MPS with canonical R#/C# row and
+// column names.
+func Write(w io.Writer, m *Model) error {
+	p := m.Problem
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "NAME %s\n", sanitizeName(m.Name))
+	if p.Maximize() {
+		fmt.Fprintf(bw, "OBJSENSE\n MAXIMIZE\n")
+	}
+	fmt.Fprintf(bw, "ROWS\n N OBJ\n")
+	mRows := p.NumConstraints()
+	ops := make([]lp.Op, mRows)
+	rhs := make([]float64, mRows)
+	colEntries := make([][]colEntry, p.NumVars())
+	for i := 0; i < mRows; i++ {
+		terms, op, b := p.Constraint(i)
+		ops[i], rhs[i] = op, b
+		typ := "L"
+		if op == lp.GE {
+			typ = "G"
+		} else if op == lp.EQ {
+			typ = "E"
+		}
+		fmt.Fprintf(bw, " %s R%d\n", typ, i)
+		// Accumulate repeated variables so the written file has one
+		// coefficient per (row, column) pair.
+		lp.SortTermsByVar(terms)
+		for k := 0; k < len(terms); {
+			v := terms[k].Var
+			coeff := terms[k].Coeff
+			k++
+			for k < len(terms) && terms[k].Var == v {
+				coeff += terms[k].Coeff
+				k++
+			}
+			if coeff != 0 {
+				colEntries[v] = append(colEntries[v], colEntry{row: i, val: coeff})
+			}
+		}
+	}
+	fmt.Fprintf(bw, "COLUMNS\n")
+	for j := 0; j < p.NumVars(); j++ {
+		// A column with no entries at all is still anchored by a zero
+		// objective line, so every variable reappears (in index order) on
+		// re-read and Write ∘ Read is a fixpoint.
+		if c := p.ObjectiveCoeff(j); c != 0 || len(colEntries[j]) == 0 {
+			fmt.Fprintf(bw, " C%d OBJ %s\n", j, fnum(c))
+		}
+		for _, e := range colEntries[j] {
+			fmt.Fprintf(bw, " C%d R%d %s\n", j, e.row, fnum(e.val))
+		}
+	}
+	fmt.Fprintf(bw, "RHS\n")
+	for i := 0; i < mRows; i++ {
+		if rhs[i] != 0 {
+			fmt.Fprintf(bw, " B R%d %s\n", i, fnum(rhs[i]))
+		}
+	}
+	fmt.Fprintf(bw, "BOUNDS\n")
+	for j := 0; j < p.NumVars(); j++ {
+		lo, up := p.LowerBound(j), p.UpperBound(j)
+		switch {
+		case lo == up:
+			fmt.Fprintf(bw, " FX BND C%d %s\n", j, fnum(lo))
+		case math.IsInf(lo, -1) && math.IsInf(up, 1):
+			fmt.Fprintf(bw, " FR BND C%d\n", j)
+		default:
+			if math.IsInf(lo, -1) {
+				fmt.Fprintf(bw, " MI BND C%d\n", j)
+			} else if lo != 0 {
+				fmt.Fprintf(bw, " LO BND C%d %s\n", j, fnum(lo))
+			}
+			if !math.IsInf(up, 1) {
+				fmt.Fprintf(bw, " UP BND C%d %s\n", j, fnum(up))
+			}
+		}
+	}
+	fmt.Fprintf(bw, "ENDATA\n")
+	return bw.Flush()
+}
+
+// WriteString renders the model to a string.
+func WriteString(m *Model) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, m); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,174 @@
+package mps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"eblow/internal/lp"
+)
+
+// buildSample exercises every feature the writer can emit: both senses,
+// all three row ops, free / fixed / shifted / bounded / empty columns.
+func buildSample() *Model {
+	p := lp.NewProblem(5)
+	p.SetMaximize(true)
+	p.SetObjectiveCoeff(0, 3)
+	p.SetObjectiveCoeff(1, -1.5)
+	p.SetObjectiveCoeff(3, 2)
+	p.SetBounds(0, 0, 4)
+	p.SetBounds(1, math.Inf(-1), math.Inf(1)) // free
+	p.SetBounds(2, 1.25, 1.25)                // fixed
+	p.SetBounds(3, -2, 10)
+	// variable 4: default bounds, no objective, no rows — must survive.
+	p.AddConstraint([]lp.Term{{Var: 0, Coeff: 2}, {Var: 1, Coeff: 1}}, lp.LE, 10)
+	p.AddConstraint([]lp.Term{{Var: 0, Coeff: 1}, {Var: 3, Coeff: -1}}, lp.GE, -1)
+	p.AddConstraint([]lp.Term{{Var: 1, Coeff: 1}, {Var: 2, Coeff: 3}}, lp.EQ, 5)
+	return &Model{Name: "sample lp!", Problem: p}
+}
+
+func mustWrite(t *testing.T, m *Model) string {
+	t.Helper()
+	s, err := WriteString(m)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return s
+}
+
+func TestWriteReadFixpoint(t *testing.T) {
+	m := buildSample()
+	w1 := mustWrite(t, m)
+	m2, err := ReadBytes([]byte(w1))
+	if err != nil {
+		t.Fatalf("read back: %v\n%s", err, w1)
+	}
+	w2 := mustWrite(t, m2)
+	if w1 != w2 {
+		t.Fatalf("write/read/write not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", w1, w2)
+	}
+	// The round trip must preserve the model semantically: same status
+	// and objective from the solver.
+	r1, err := lp.Solve(m.Problem)
+	if err != nil {
+		t.Fatalf("solve original: %v", err)
+	}
+	r2, err := lp.Solve(m2.Problem)
+	if err != nil {
+		t.Fatalf("solve round trip: %v", err)
+	}
+	if r1.Status != r2.Status {
+		t.Fatalf("status changed across round trip: %v vs %v", r1.Status, r2.Status)
+	}
+	if r1.Status == lp.Optimal && math.Abs(r1.Objective-r2.Objective) > 1e-9 {
+		t.Fatalf("objective changed across round trip: %g vs %g", r1.Objective, r2.Objective)
+	}
+}
+
+func TestReadBasics(t *testing.T) {
+	src := `* a comment
+NAME tiny
+OBJSENSE
+ MAXIMIZE
+ROWS
+ N cost
+ L cap
+COLUMNS
+ x cost 2 cap 1
+ y cost 3
+RHS
+ rhsset cap 4
+BOUNDS
+ UP bnd y 1.5
+ENDATA
+`
+	m, err := ReadBytes([]byte(src))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	p := m.Problem
+	if m.Name != "tiny" || p.NumVars() != 2 || p.NumConstraints() != 1 || !p.Maximize() {
+		t.Fatalf("parsed shape wrong: name=%q vars=%d rows=%d max=%v",
+			m.Name, p.NumVars(), p.NumConstraints(), p.Maximize())
+	}
+	res, err := lp.Solve(p)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	// max 2x+3y, x+0y <= 4... row cap: x <= 4; y <= 1.5 → obj 8+4.5.
+	if res.Status != lp.Optimal || math.Abs(res.Objective-12.5) > 1e-9 {
+		t.Fatalf("got %v obj %g, want optimal 12.5", res.Status, res.Objective)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing endata": "NAME x\nROWS\n N OBJ\n",
+		"unknown row":    "ROWS\n N OBJ\nCOLUMNS\n x nosuch 1\nENDATA\n",
+		"bad number":     "ROWS\n N OBJ\nCOLUMNS\n x OBJ nan\nENDATA\n",
+		"bad section":    "JUNKSECTION\nENDATA\n",
+		"ranges":         "ROWS\n N OBJ\nRANGES\n r x 1\nENDATA\n",
+		"crossing fx":    "ROWS\n N OBJ\nCOLUMNS\n x OBJ 1\nBOUNDS\n LO b x 5\n UP b x 1\nENDATA\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadBytes([]byte(src)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestSanitizeNameIdempotent(t *testing.T) {
+	for _, s := range []string{"", "a b!c", "ok-name_1.2", "日本語"} {
+		once := sanitizeName(s)
+		if twice := sanitizeName(once); twice != once {
+			t.Fatalf("sanitizeName not idempotent: %q -> %q -> %q", s, once, twice)
+		}
+	}
+}
+
+// FuzzMPSRoundTrip asserts the interchange contract on arbitrary input:
+// parsing never panics, and any input that parses satisfies the
+// write → read → write fixpoint.
+func FuzzMPSRoundTrip(f *testing.F) {
+	if s, err := WriteString(buildSample()); err == nil {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte("NAME t\nROWS\n N OBJ\n L r\nCOLUMNS\n x OBJ 1 r 1\nRHS\n b r 2\nENDATA\n"))
+	f.Add([]byte("ROWS\n N OBJ\n G g\nCOLUMNS\n x g 1\nRHS\n b g -3\nBOUNDS\n MI b x\nENDATA\n"))
+	f.Add([]byte("ROWS\n L r\nCOLUM"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBytes(data)
+		if err != nil {
+			return
+		}
+		w1, err := WriteString(m)
+		if err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		m2, err := ReadBytes([]byte(w1))
+		if err != nil {
+			t.Fatalf("re-read of written model failed: %v\n%s", err, w1)
+		}
+		w2, err := WriteString(m2)
+		if err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if w1 != w2 {
+			t.Fatalf("not a fixpoint:\n--- w1 ---\n%s\n--- w2 ---\n%s", w1, w2)
+		}
+	})
+}
+
+func TestTornInputsDoNotPanic(t *testing.T) {
+	full := mustWrite(t, buildSample())
+	for i := 0; i <= len(full); i++ {
+		_, _ = ReadBytes([]byte(full[:i]))
+	}
+	for _, junk := range []string{
+		"\x00\x01\x02", "ROWS", " ROWS", "BOUNDS\n UP\nENDATA",
+		"ROWS\n N OBJ\nCOLUMNS\n 'MARKER'\nENDATA",
+		strings.Repeat(" x", 1000),
+	} {
+		_, _ = ReadBytes([]byte(junk))
+	}
+}

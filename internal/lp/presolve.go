@@ -1,0 +1,442 @@
+package lp
+
+import "math"
+
+// Presolve shrinks a problem before the cold sparse solve: fixed and
+// collapsed variables are substituted out, empty and dominated columns
+// are pinned to their improving bound, empty rows are checked and
+// dropped, singleton rows become bound tightenings, and rows whose
+// activity range cannot violate them are removed. Postsolve maps the
+// reduced vertex back to the full variable space and rebuilds a full
+// basis (removed columns nonbasic at their recorded bound, removed rows'
+// logicals basic) so warm-start consumers see a complete status vector.
+//
+// Warm solves skip presolve entirely — a warm basis indexes the full
+// variable space, and the handful of pivots a warm re-solve needs would
+// be swamped by the reduction bookkeeping anyway.
+//
+// A column whose improving bound is infinite is deliberately left in the
+// problem even when it is empty or dominated: declaring Unbounded is only
+// correct once feasibility is established, which is the simplex's job.
+
+const presolveMaxPasses = 16
+
+type presolveState struct {
+	n, m int
+
+	// Working bounds; singleton rows tighten these, and the reduced
+	// problem is built from them.
+	lo, up []float64
+
+	fixed  []bool
+	fixVal []float64
+	fixSt  []VarStatus
+
+	rowKept []bool
+
+	infeasible bool
+
+	colMap []int // full var -> reduced var, -1 when fixed
+	rowMap []int // full row -> reduced row, -1 when dropped
+}
+
+func (ps *presolveState) fix(j int, val float64, st VarStatus) {
+	ps.fixed[j] = true
+	ps.fixVal[j] = val
+	ps.fixSt[j] = st
+}
+
+func runPresolve(p *Problem) *presolveState {
+	n := p.numVars
+	m := len(p.cons)
+	ps := &presolveState{
+		n: n, m: m,
+		lo:      append([]float64(nil), p.lower...),
+		up:      append([]float64(nil), p.upper...),
+		fixed:   make([]bool, n),
+		fixVal:  make([]float64, n),
+		fixSt:   make([]VarStatus, n),
+		rowKept: make([]bool, m),
+	}
+	for i := range ps.rowKept {
+		ps.rowKept[i] = true
+	}
+
+	// Internal minimize costs decide improving directions.
+	cost := func(j int) float64 {
+		if p.maximize {
+			return -p.obj[j]
+		}
+		return p.obj[j]
+	}
+
+	// Scratch for per-row term accumulation (repeated variables add up,
+	// matching the solvers' semantics).
+	acc := make([]float64, n)
+	inAcc := make([]bool, n)
+	var accVars []int
+
+	// Per-column domination trackers, rebuilt each pass from the live rows.
+	colCnt := make([]int, n)
+	canLower := make([]bool, n) // moving x_j down only loosens every live row
+	canUpper := make([]bool, n)
+
+	for pass := 0; pass < presolveMaxPasses && !ps.infeasible; pass++ {
+		changed := false
+
+		// Collapsed bounds become fixed variables.
+		for j := 0; j < n; j++ {
+			if ps.fixed[j] {
+				continue
+			}
+			if ps.lo[j] > ps.up[j]+feasTol {
+				ps.infeasible = true
+				return ps
+			}
+			if ps.lo[j] >= ps.up[j] {
+				ps.fix(j, math.Min(ps.lo[j], ps.up[j]), AtLower)
+				changed = true
+			}
+		}
+
+		for j := 0; j < n; j++ {
+			colCnt[j] = 0
+			canLower[j] = true
+			canUpper[j] = true
+		}
+
+		// Row sweep: substitute fixed variables, then classify.
+		for i := 0; i < m && !ps.infeasible; i++ {
+			if !ps.rowKept[i] {
+				continue
+			}
+			c := &p.cons[i]
+			rhs := c.rhs
+			accVars = accVars[:0]
+			for _, t := range c.terms {
+				if ps.fixed[t.Var] {
+					rhs -= t.Coeff * ps.fixVal[t.Var]
+					continue
+				}
+				if !inAcc[t.Var] {
+					inAcc[t.Var] = true
+					accVars = append(accVars, t.Var)
+				}
+				acc[t.Var] += t.Coeff
+			}
+			// Compact to the nonzero live terms (accVars is in first-seen
+			// order, which follows the deterministic term order of the row).
+			live := 0
+			var loneVar int
+			var loneCoeff float64
+			minAct, maxAct := 0.0, 0.0
+			for _, v := range accVars {
+				a := acc[v]
+				if a != 0 {
+					live++
+					loneVar, loneCoeff = v, a
+					if a > 0 {
+						minAct += a * ps.lo[v]
+						maxAct += a * ps.up[v]
+					} else {
+						minAct += a * ps.up[v]
+						maxAct += a * ps.lo[v]
+					}
+				}
+			}
+
+			switch {
+			case live == 0:
+				ok := true
+				switch c.op {
+				case LE:
+					ok = rhs >= -feasTol
+				case GE:
+					ok = rhs <= feasTol
+				default:
+					ok = rhs >= -feasTol && rhs <= feasTol
+				}
+				if !ok {
+					ps.infeasible = true
+				}
+				ps.rowKept[i] = false
+				changed = true
+			case live == 1:
+				// Singleton row: a*x op rhs is a bound on x.
+				v, a := loneVar, loneCoeff
+				bound := rhs / a
+				tightenLo := func(b float64) {
+					if b > ps.lo[v] {
+						ps.lo[v] = b
+						changed = true
+					}
+				}
+				tightenUp := func(b float64) {
+					if b < ps.up[v] {
+						ps.up[v] = b
+						changed = true
+					}
+				}
+				switch {
+				case c.op == EQ:
+					tightenLo(bound)
+					tightenUp(bound)
+				case (c.op == LE) == (a > 0):
+					tightenUp(bound)
+				default:
+					tightenLo(bound)
+				}
+				if ps.lo[v] > ps.up[v]+feasTol {
+					ps.infeasible = true
+				}
+				ps.rowKept[i] = false
+				changed = true
+			default:
+				// Activity-range redundancy / infeasibility checks.
+				switch c.op {
+				case LE:
+					if minAct > rhs+feasTol {
+						ps.infeasible = true
+					} else if maxAct <= rhs+feasTol {
+						ps.rowKept[i] = false
+						changed = true
+					}
+				case GE:
+					if maxAct < rhs-feasTol {
+						ps.infeasible = true
+					} else if minAct >= rhs-feasTol {
+						ps.rowKept[i] = false
+						changed = true
+					}
+				default:
+					if minAct > rhs+feasTol || maxAct < rhs-feasTol {
+						ps.infeasible = true
+					}
+				}
+			}
+
+			// The row survived (or not): record column facts for the
+			// domination sweep only while it is still live.
+			for _, v := range accVars {
+				a := acc[v]
+				if a != 0 && ps.rowKept[i] {
+					colCnt[v]++
+					switch c.op {
+					case LE:
+						if a < 0 {
+							canLower[v] = false
+						}
+						if a > 0 {
+							canUpper[v] = false
+						}
+					case GE:
+						if a > 0 {
+							canLower[v] = false
+						}
+						if a < 0 {
+							canUpper[v] = false
+						}
+					default:
+						canLower[v] = false
+						canUpper[v] = false
+					}
+				}
+				acc[v] = 0
+				inAcc[v] = false
+			}
+		}
+		if ps.infeasible {
+			return ps
+		}
+
+		// Column sweep: empty and dominated columns pin to their
+		// improving bound when that bound is finite.
+		for j := 0; j < n; j++ {
+			if ps.fixed[j] {
+				continue
+			}
+			cj := cost(j)
+			if colCnt[j] == 0 {
+				switch {
+				case cj > 0 && !math.IsInf(ps.lo[j], -1):
+					ps.fix(j, ps.lo[j], AtLower)
+					changed = true
+				case cj < 0 && !math.IsInf(ps.up[j], 1):
+					ps.fix(j, ps.up[j], AtUpper)
+					changed = true
+				case cj == 0:
+					switch {
+					case !math.IsInf(ps.lo[j], -1):
+						ps.fix(j, ps.lo[j], AtLower)
+					case !math.IsInf(ps.up[j], 1):
+						ps.fix(j, ps.up[j], AtUpper)
+					default:
+						ps.fix(j, 0, NonbasicFree)
+					}
+					changed = true
+				}
+				continue
+			}
+			// Dominated: the objective pushes toward a bound and every
+			// live row only loosens in that direction, so the bound is
+			// optimal (and feasibility is preserved) when it is finite.
+			if cj >= 0 && canLower[j] && !math.IsInf(ps.lo[j], -1) {
+				ps.fix(j, ps.lo[j], AtLower)
+				changed = true
+			} else if cj <= 0 && canUpper[j] && !math.IsInf(ps.up[j], 1) {
+				ps.fix(j, ps.up[j], AtUpper)
+				changed = true
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+
+	ps.colMap = make([]int, n)
+	nRed := 0
+	for j := 0; j < n; j++ {
+		if ps.fixed[j] {
+			ps.colMap[j] = -1
+		} else {
+			ps.colMap[j] = nRed
+			nRed++
+		}
+	}
+	ps.rowMap = make([]int, m)
+	mRed := 0
+	for i := 0; i < m; i++ {
+		if ps.rowKept[i] {
+			ps.rowMap[i] = mRed
+			mRed++
+		} else {
+			ps.rowMap[i] = -1
+		}
+	}
+	return ps
+}
+
+// buildReduced materializes the reduced problem under the presolve maps.
+func (ps *presolveState) buildReduced(p *Problem) *Problem {
+	nRed := 0
+	for j := 0; j < ps.n; j++ {
+		if !ps.fixed[j] {
+			nRed++
+		}
+	}
+	red := NewProblem(nRed)
+	red.maximize = p.maximize
+	red.MaxIters = p.MaxIters
+	red.Stop = p.Stop
+	for j := 0; j < ps.n; j++ {
+		if jj := ps.colMap[j]; jj >= 0 {
+			red.obj[jj] = p.obj[j]
+			red.lower[jj] = ps.lo[j]
+			red.upper[jj] = ps.up[j]
+		}
+	}
+	for i := 0; i < ps.m; i++ {
+		if !ps.rowKept[i] {
+			continue
+		}
+		c := &p.cons[i]
+		rhs := c.rhs
+		var terms []Term
+		for _, t := range c.terms {
+			if ps.fixed[t.Var] {
+				rhs -= t.Coeff * ps.fixVal[t.Var]
+				continue
+			}
+			terms = append(terms, Term{Var: ps.colMap[t.Var], Coeff: t.Coeff})
+		}
+		red.cons = append(red.cons, constraint{terms: terms, op: c.op, rhs: rhs})
+	}
+	return red
+}
+
+// postsolveX lifts a reduced vertex to the full variable space.
+func (ps *presolveState) postsolveX(xRed []float64) []float64 {
+	x := make([]float64, ps.n)
+	for j := 0; j < ps.n; j++ {
+		if ps.fixed[j] {
+			x[j] = ps.fixVal[j]
+		} else {
+			x[j] = xRed[ps.colMap[j]]
+		}
+	}
+	return x
+}
+
+// postsolveBasis lifts a reduced basis to the full space: removed columns
+// are nonbasic at their recorded bound, removed rows' logicals are basic
+// (the resulting basis matrix is block triangular, hence nonsingular).
+func (ps *presolveState) postsolveBasis(red *Basis) *Basis {
+	nRed := 0
+	for j := 0; j < ps.n; j++ {
+		if !ps.fixed[j] {
+			nRed++
+		}
+	}
+	full := make([]VarStatus, ps.n+ps.m)
+	for j := 0; j < ps.n; j++ {
+		if ps.fixed[j] {
+			full[j] = ps.fixSt[j]
+		} else {
+			full[j] = red.Status[ps.colMap[j]]
+		}
+	}
+	for i := 0; i < ps.m; i++ {
+		if ps.rowKept[i] {
+			full[ps.n+i] = red.Status[nRed+ps.rowMap[i]]
+		} else {
+			full[ps.n+i] = Basic
+		}
+	}
+	return &Basis{Status: full}
+}
+
+// solveSparseCold presolves, solves the reduced problem with the sparse
+// revised simplex, and postsolves the vertex and basis.
+func solveSparseCold(p *Problem) (*Result, error) {
+	for j := 0; j < p.numVars; j++ {
+		if p.lower[j] > p.upper[j]+eps {
+			return &Result{Status: Infeasible}, nil
+		}
+	}
+	ps := runPresolve(p)
+	if ps.infeasible {
+		return &Result{Status: Infeasible}, nil
+	}
+	red := ps.buildReduced(p)
+	res, basis, err := solveSparse(red, nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != Optimal {
+		return &Result{Status: res.Status, Iters: res.Iters}, nil
+	}
+	x := ps.postsolveX(res.X)
+	// Clamp to the original bounds: fixed values derived from constraint
+	// tightenings are intersections of the originals, so only float dust
+	// can stick out.
+	for j := 0; j < p.numVars; j++ {
+		if x[j] < p.lower[j] {
+			x[j] = p.lower[j]
+		}
+		if x[j] > p.upper[j] {
+			x[j] = p.upper[j]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < p.numVars; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return &Result{
+		Status:    Optimal,
+		Objective: obj,
+		X:         x,
+		Iters:     res.Iters,
+		Basis:     ps.postsolveBasis(basis),
+	}, nil
+}
