@@ -29,9 +29,21 @@
 // per-shape win rates, every race outcome is recorded back, and the store
 // is persisted after each job. GET /v1/learn exposes the statistics.
 //
+// By default (-batch) the queue drains through a cost-model scheduler
+// instead of FIFO order: cheap jobs are estimated (chars x regions x
+// strategy, sharpened by the learn store's measured runtimes when one is
+// loaded) and may overtake expensive ones, and compatible small jobs are
+// grouped into cohorts (-batch-size, -batch-chars) that run struct-of-
+// arrays batched kernels in lockstep. Per-job results stay bit-identical
+// to solo FIFO execution, and -aging hard-bounds how many later jobs may
+// overtake a waiting one (no starvation). GET /v1/stats exposes the queue
+// depth and the scheduler's counters; -batch=false restores the plain
+// FIFO drain.
+//
 // API (JSON unless noted; see docs/eblowd-api.md for the full reference):
 //
 //	GET    /v1/solvers            registered strategies
+//	GET    /v1/stats              queue depth, per-state job counts, batch counters
 //	GET    /v1/learn              learned-scheduling statistics snapshot
 //	POST   /v1/jobs               submit {"benchmark": "1M-2"} or {"instance": {...}}
 //	GET    /v1/jobs               list jobs
@@ -80,6 +92,10 @@ func main() {
 		walPath     = flag.String("wal", "", "durable write-ahead job log: accepted jobs are fsynced before the ack and replayed on restart (\"\" disables durability)")
 		walMaxBytes = flag.Int64("wal-max-bytes", service.DefaultWALMaxBytes, "compact the WAL to a live-job snapshot once it exceeds this size")
 		authKeys    = flag.String("auth-keys", "", "API key file (one \"name secret [readonly] [pending=N] [rate=R] [burst=B]\" per line); \"\" serves unauthenticated")
+		batchOn     = flag.Bool("batch", true, "cost-model scheduling + batched cohort execution of compatible queued jobs (per-job results stay bit-identical to the FIFO drain)")
+		batchSize   = flag.Int("batch-size", 8, "max jobs per execution cohort")
+		batchChars  = flag.Int("batch-chars", 400, "largest instance (characters) that may join a cohort; bigger jobs run solo")
+		aging       = flag.Int("aging", 16, "scheduler aging bound: max later-submitted jobs that may overtake a waiting job (-1 = strict submission order)")
 	)
 	flag.Parse()
 
@@ -100,7 +116,11 @@ func main() {
 		}
 	}
 
-	m := service.New(service.Config{Workers: *workers, RecordTTL: *recordTTL, MaxPending: *maxPending, Learn: store, WAL: wal})
+	batchCfg := service.BatchConfig{Enabled: *batchOn, MaxBatch: *batchSize, MaxChars: *batchChars, MaxJump: *aging}
+	if *batchOn {
+		log.Printf("batch scheduling on: cohorts up to %d jobs of <= %d characters, aging bound %d", *batchSize, *batchChars, *aging)
+	}
+	m := service.New(service.Config{Workers: *workers, RecordTTL: *recordTTL, MaxPending: *maxPending, Learn: store, WAL: wal, Batch: batchCfg})
 	if wal != nil {
 		// New consumed the log: report what the replay found (the chaos
 		// test greps this line).

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// runBenchSummary aggregates every BENCH_*.json perf record in dir into one
+// table: file by file, each record's JSON flattened to dotted keys with
+// aligned values. The records are heterogeneous by design (annealer perf,
+// LP perf, worker sweeps, throughput), so the summary is schema-agnostic —
+// whatever a record tracks, it shows.
+func runBenchSummary(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json records in %s", dir)
+	}
+	sort.Strings(paths)
+	fmt.Printf("bench summary: %d record(s)\n", len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var doc any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		flat := map[string]string{}
+		flatten("", doc, flat)
+		keys := make([]string, 0, len(flat))
+		width := 0
+		for k := range flat {
+			keys = append(keys, k)
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+		sort.Strings(keys)
+		fmt.Printf("\n%s\n", filepath.Base(p))
+		for _, k := range keys {
+			fmt.Printf("  %-*s  %s\n", width, k, flat[k])
+		}
+	}
+	return nil
+}
+
+// flatten renders nested JSON as dotted-key leaves: objects recurse with
+// "parent.child" keys, arrays with "parent[i]".
+func flatten(prefix string, v any, out map[string]string) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, x[k], out)
+		}
+	case []any:
+		for i, e := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), e, out)
+		}
+	case float64:
+		out[prefix] = strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		out[prefix] = strconv.FormatBool(x)
+	case nil:
+		out[prefix] = "null"
+	default:
+		out[prefix] = fmt.Sprint(x)
+	}
+}

@@ -16,6 +16,7 @@ var deterministicPkgs = map[string]bool{
 	"eblow/internal/lp/mps":    true,
 	"eblow/internal/pack2d":    true,
 	"eblow/internal/floorsa":   true,
+	"eblow/internal/batch":     true,
 	"eblow/internal/seqpair":   true,
 	"eblow/internal/anneal":    true,
 	"eblow/internal/portfolio": true,

@@ -1,0 +1,125 @@
+// Package batch is the batched many-instance execution layer: it turns a
+// set of concurrently queued compatible jobs into one cohort that runs wide
+// data-parallel kernels in lockstep instead of draining job-by-job.
+//
+// The package has two halves:
+//
+//   - Queue is the cost-model scheduler. The service pushes every queued
+//     job with a cost estimate (Estimate: chars x regions x strategy,
+//     replaced by measured runtimes from internal/learn once a store has
+//     traffic history) and Pop returns the next unit of work — the
+//     cheapest eligible job plus every compatible small job it can take
+//     along, up to the policy's cohort size. Fairness is bounded, not
+//     best-effort: a job can be overtaken by at most Policy.MaxJump
+//     later-submitted jobs before the scheduler pins it to the front, so
+//     starvation is impossible by construction.
+//   - Execute runs a popped cohort. Units sharing a strategy and kind are
+//     executed by one par.For sweep; the "sa24" 2D annealer additionally
+//     gets the full struct-of-arrays treatment (floorsa.PackBatch carves
+//     every instance's hot arrays from one shared arena, so the cohort's
+//     kernels run as contiguous lockstep sweeps instead of per-instance
+//     pointer chasing).
+//
+// The batch-identity contract (docs/INVARIANTS.md): for every unit, the
+// Result of a batched run is bit-identical to the solo solver.Solve call
+// the service would have made — same objective, same plan, same digest.
+// Cohort execution changes only memory layout and start order, never the
+// arithmetic; each unit keeps its own context, seed stream, and deadline.
+package batch
+
+import (
+	"context"
+
+	"eblow/internal/core"
+	"eblow/internal/par"
+	"eblow/internal/solver"
+)
+
+// Unit is one job's solve inside a cohort.
+type Unit struct {
+	// Ctx cancels this unit alone; it must be non-nil.
+	Ctx context.Context
+	// Instance is the problem to solve.
+	Instance *core.Instance
+	// Strategy is the resolved registry name; it must be batchable
+	// (Batchable reports true) for cohort formation, though Execute runs
+	// any registered strategy.
+	Strategy string
+	// Params are the solve parameters, exactly as the solo path would pass
+	// them to solver.Solve.
+	Params solver.Params
+}
+
+// UnitResult pairs one unit's outcome with its error, mirroring the
+// (Result, error) return of solver.Solve.
+type UnitResult struct {
+	Result *solver.Result
+	Err    error
+}
+
+// Batchable reports whether the named strategy is registered, supports the
+// kind, and is marked safe for cohort execution.
+func Batchable(name string, kind core.Kind) bool {
+	e, ok := solver.LookupEntry(name)
+	return ok && e.Batchable && e.Supports(kind)
+}
+
+// Execute runs the units as one cohort and returns one UnitResult per unit,
+// index-aligned. Units are grouped by (strategy, kind) in first-appearance
+// order; each group runs as one lockstep par.For sweep bounded by workers
+// goroutines. Results are bit-identical to calling solver.Solve per unit.
+func Execute(units []Unit, workers int) []UnitResult {
+	out := make([]UnitResult, len(units))
+	if len(units) == 0 {
+		return out
+	}
+	type group struct {
+		strategy string
+		kind     core.Kind
+		idx      []int
+	}
+	var groups []group
+	for i, u := range units {
+		placed := false
+		for g := range groups {
+			if groups[g].strategy == u.Strategy && groups[g].kind == u.Instance.Kind {
+				groups[g].idx = append(groups[g].idx, i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, group{u.Strategy, u.Instance.Kind, []int{i}})
+		}
+	}
+	for _, g := range groups {
+		sub := make([]Unit, len(g.idx))
+		for k, i := range g.idx {
+			sub[k] = units[i]
+		}
+		var res []UnitResult
+		if g.strategy == "sa24" && g.kind == core.TwoD {
+			res = runSA2D(sub, workers)
+		} else {
+			res = runGrouped(sub, workers)
+		}
+		for k, i := range g.idx {
+			out[i] = res[k]
+		}
+	}
+	return out
+}
+
+// runGrouped executes the units through the registry solver, one unit per
+// par.For index. This is the trivially-lockstep case: every instance runs
+// the same strategy's kernel in one sweep, and bit-identity to solo
+// execution holds because the code path IS the solo path.
+func runGrouped(units []Unit, workers int) []UnitResult {
+	out := make([]UnitResult, len(units))
+	par.For(workers, len(units), func(i int) {
+		u := units[i]
+		r, err := solver.Solve(u.Ctx, u.Strategy, u.Instance, u.Params)
+		out[i] = UnitResult{Result: r, Err: err}
+	})
+	return out
+}

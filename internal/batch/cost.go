@@ -1,0 +1,74 @@
+package batch
+
+import (
+	"eblow/internal/core"
+	"eblow/internal/learn"
+)
+
+// Estimate returns the scheduler's cost estimate for running the strategy
+// on the instance. Costs are in rough microseconds of expected solve time —
+// the absolute scale only matters so static estimates stay comparable with
+// measured ones; the scheduler consumes relative order.
+//
+// With a learn store loaded, a shape that has recorded traffic history for
+// the strategy reports its measured mean runtime instead of the static
+// model, so the queue ordering sharpens as the deployment runs. Without
+// history the static model is chars x regions x a per-strategy factor:
+// coarse, but it only has to rank a tiny greedy job below a medium
+// annealing job, which it does by orders of magnitude.
+func Estimate(in *core.Instance, strategy string, store *learn.Store) float64 {
+	if store != nil {
+		if d, ok := store.AvgElapsed(learn.Fingerprint(in), strategy); ok {
+			us := float64(d.Microseconds())
+			if us < 1 {
+				us = 1
+			}
+			return us
+		}
+	}
+	chars := float64(in.NumCharacters())
+	regions := float64(in.NumRegions)
+	if regions < 1 {
+		regions = 1
+	}
+	switch strategy {
+	case "greedy", "row25":
+		// Sort-and-pack passes: near-linear, no annealing.
+		return 5 * chars
+	case "heuristic24":
+		// Two-step heuristic with a swap-improvement loop.
+		return 40 * chars
+	case "sa24":
+		// Annealing cost follows the move budget (floorsa.defaultBudget
+		// scales 40n clamped to [2000, 60000]) plus a quadratic legalize.
+		moves := 40 * chars
+		if moves < 2000 {
+			moves = 2000
+		}
+		if moves > 60000 {
+			moves = 60000
+		}
+		return 0.5*moves + 0.01*chars*chars
+	case "eblow":
+		if in.Kind == core.OneD {
+			// Successive rounding over an LP relaxation: the matrix grows
+			// with both candidates and regions.
+			return 50 * chars * regions
+		}
+		// Clustering plus annealing: roughly the sa24 shape, doubled.
+		moves := 40 * chars
+		if moves < 2000 {
+			moves = 2000
+		}
+		if moves > 60000 {
+			moves = 60000
+		}
+		return 2 * (0.5*moves + 0.01*chars*chars)
+	case "exact":
+		// Branch and bound: super-quadratic even on tiny instances.
+		return 1000 * chars * chars
+	default:
+		// Unknown or meta-strategy ("portfolio"): assume the full race.
+		return 100 * chars * regions
+	}
+}

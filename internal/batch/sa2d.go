@@ -1,0 +1,85 @@
+package batch
+
+import (
+	"context"
+	"time"
+
+	"eblow/internal/baseline"
+	"eblow/internal/floorsa"
+	"eblow/internal/solver"
+)
+
+// runSA2D is the struct-of-arrays cohort kernel for the "sa24" strategy:
+// every unit's annealing input is planned up front (baseline.PlanSA2D, the
+// exact setup the solo path runs), then floorsa.PackBatch anneals the whole
+// cohort out of one shared arena in a single lockstep par.For sweep, and
+// finally each result is scattered back into a per-unit Solution with the
+// same stamping the registry wrapper applies.
+//
+// The pre-kernel checks replicate the registry wrapper's contract in the
+// same order — ctx, Validate, per-unit deadline — so a unit that would have
+// failed solo fails identically here. Elapsed spans the cohort's phases
+// (plan + pack + scatter); it is trace-only and excluded from result
+// digests, so sharing the clock across the cohort cannot break the
+// batch-identity contract.
+func runSA2D(units []Unit, workers int) []UnitResult {
+	out := make([]UnitResult, len(units))
+	start := time.Now()
+
+	type prep struct {
+		plan   *baseline.SA2DPlan
+		cancel context.CancelFunc
+	}
+	preps := make([]prep, len(units))
+	items := make([]floorsa.BatchItem, 0, len(units))
+	itemUnit := make([]int, 0, len(units))
+	for i, u := range units {
+		if err := u.Ctx.Err(); err != nil {
+			out[i] = UnitResult{Err: err}
+			continue
+		}
+		p := u.Params
+		ctx := u.Ctx
+		var cancel context.CancelFunc
+		if p.Deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+		}
+		plan, err := baseline.PlanSA2D(u.Instance, baseline.SA2DOptions{
+			Seed:      p.Seed,
+			Restarts:  p.Restarts,
+			Workers:   p.Workers,
+			TimeLimit: p.Deadline,
+		})
+		if err != nil {
+			if cancel != nil {
+				cancel()
+			}
+			out[i] = UnitResult{Err: err}
+			continue
+		}
+		preps[i] = prep{plan: plan, cancel: cancel}
+		items = append(items, floorsa.BatchItem{
+			Ctx:    ctx,
+			Blocks: plan.Blocks,
+			VSB:    u.Instance.VSBTime(),
+			W:      u.Instance.StencilWidth,
+			H:      u.Instance.StencilHeight,
+			Opt:    plan.Opt,
+		})
+		itemUnit = append(itemUnit, i)
+	}
+
+	results := floorsa.PackBatch(items, workers)
+
+	for k, i := range itemUnit {
+		u := units[i]
+		sol := preps[i].plan.Solution(u.Instance, results[k], time.Since(start))
+		r := &solver.Result{Solution: sol}
+		solver.Finish(r, u.Instance, u.Strategy, time.Since(start))
+		out[i] = UnitResult{Result: r}
+		if preps[i].cancel != nil {
+			preps[i].cancel()
+		}
+	}
+	return out
+}

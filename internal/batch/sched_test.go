@@ -1,0 +1,203 @@
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eblow/internal/core"
+)
+
+func pushN(q *Queue, items ...Item) {
+	for _, it := range items {
+		q.Push(it)
+	}
+}
+
+// drainAll pops until empty and returns the job IDs in pop order (flattened
+// across cohorts).
+func drainAll(q *Queue, pol Policy) []string {
+	var order []string
+	for q.Len() > 0 {
+		for _, it := range q.Pop(pol) {
+			order = append(order, it.ID)
+		}
+	}
+	return order
+}
+
+func TestQueuePopsByCost(t *testing.T) {
+	q := NewQueue()
+	pushN(q,
+		Item{ID: "big", Cost: 1000},
+		Item{ID: "mid", Cost: 100},
+		Item{ID: "tiny", Cost: 1},
+	)
+	got := drainAll(q, Policy{MaxBatch: 1, MaxJump: 100})
+	want := []string{"tiny", "mid", "big"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueCostTiesGoToSubmissionOrder(t *testing.T) {
+	q := NewQueue()
+	pushN(q, Item{ID: "a", Cost: 5}, Item{ID: "b", Cost: 5}, Item{ID: "c", Cost: 5})
+	got := drainAll(q, Policy{MaxBatch: 1, MaxJump: 100})
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie order %v, want submission order", got)
+	}
+}
+
+// TestQueueAgingBound is the fairness guarantee under the adversarial mix:
+// one expensive job followed by a stream of cheap ones. The expensive job
+// must be overtaken by exactly MaxJump cheap jobs, then pinned to the front.
+func TestQueueAgingBound(t *testing.T) {
+	const maxJump = 3
+	q := NewQueue()
+	q.Push(Item{ID: "whale", Cost: 1e9})
+	for i := 0; i < 10; i++ {
+		q.Push(Item{ID: fmt.Sprintf("minnow%d", i), Cost: 1})
+	}
+	got := drainAll(q, Policy{MaxBatch: 1, MaxJump: maxJump})
+	// The whale waits through exactly maxJump cheap pops.
+	for pos, id := range got {
+		if id == "whale" {
+			if pos != maxJump {
+				t.Fatalf("whale popped at position %d, want %d (aging bound)", pos, maxJump)
+			}
+			break
+		}
+	}
+	st := q.Stats()
+	if st.AgedPops != 1 {
+		t.Fatalf("AgedPops = %d, want 1", st.AgedPops)
+	}
+	if st.Overtakes != maxJump {
+		t.Fatalf("Overtakes = %d, want %d", st.Overtakes, maxJump)
+	}
+}
+
+func TestQueueMaxJumpZeroIsFIFO(t *testing.T) {
+	q := NewQueue()
+	pushN(q, Item{ID: "slow", Cost: 100}, Item{ID: "fast", Cost: 1})
+	got := drainAll(q, Policy{MaxBatch: 1, MaxJump: 0})
+	if got[0] != "slow" || got[1] != "fast" {
+		t.Fatalf("MaxJump=0 order %v, want strict FIFO", got)
+	}
+}
+
+func TestQueueCohortCompatibility(t *testing.T) {
+	q := NewQueue()
+	pushN(q,
+		Item{ID: "a", Strategy: "sa24", Kind: core.TwoD, Chars: 30, Cost: 10, Batchable: true},
+		Item{ID: "b", Strategy: "greedy", Kind: core.OneD, Chars: 30, Cost: 11, Batchable: true},
+		Item{ID: "c", Strategy: "sa24", Kind: core.TwoD, Chars: 30, Cost: 12, Batchable: true},
+		Item{ID: "d", Strategy: "sa24", Kind: core.TwoD, Chars: 900, Cost: 13, Batchable: true}, // too big
+		Item{ID: "e", Strategy: "eblow", Kind: core.TwoD, Chars: 30, Cost: 14},                  // not batchable
+		Item{ID: "f", Strategy: "sa24", Kind: core.OneD, Chars: 30, Cost: 15, Batchable: true},  // kind mismatch
+	)
+	pol := Policy{MaxBatch: 8, MaxChars: 400, MaxJump: 100}
+	first := q.Pop(pol)
+	if len(first) != 2 || first[0].ID != "a" || first[1].ID != "c" {
+		t.Fatalf("first cohort %+v, want [a c]", first)
+	}
+	st := q.Stats()
+	if st.Cohorts != 1 || st.BatchedJobs != 2 || st.MaxCohort != 2 {
+		t.Fatalf("stats after cohort: %+v", st)
+	}
+}
+
+func TestQueueMaxBatchCapsCohort(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 10; i++ {
+		q.Push(Item{ID: fmt.Sprintf("j%d", i), Strategy: "greedy", Kind: core.OneD, Chars: 10, Cost: 1, Batchable: true})
+	}
+	got := q.Pop(Policy{MaxBatch: 4, MaxChars: 100, MaxJump: 100})
+	if len(got) != 4 {
+		t.Fatalf("cohort size %d, want 4", len(got))
+	}
+	if q.Stats().MaxCohort != 4 {
+		t.Fatalf("MaxCohort = %d, want 4", q.Stats().MaxCohort)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewQueue()
+	pushN(q, Item{ID: "a", Cost: 1}, Item{ID: "b", Cost: 2})
+	if !q.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if q.Remove("a") {
+		t.Fatal("second Remove(a) = true")
+	}
+	got := drainAll(q, Policy{MaxBatch: 1, MaxJump: 10})
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("after Remove, drain = %v, want [b]", got)
+	}
+}
+
+// TestQueueFairnessProperty drives random adversarial cost mixes through
+// the scheduler with cohorts enabled and checks the invariant directly: in
+// the realized pop order, no job is preceded by more than MaxJump jobs that
+// were submitted after it.
+func TestQueueFairnessProperty(t *testing.T) {
+	strategies := []string{"greedy", "row25", "sa24"}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQueue()
+		n := 30 + rng.Intn(40)
+		submitted := make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("j%d", i)
+			submitted[id] = i
+			cost := 1.0
+			if rng.Intn(3) == 0 {
+				cost = float64(1 + rng.Intn(1_000_000))
+			}
+			q.Push(Item{
+				ID:        id,
+				Strategy:  strategies[rng.Intn(len(strategies))],
+				Kind:      core.Kind(rng.Intn(2)),
+				Chars:     10 + rng.Intn(600),
+				Cost:      cost,
+				Batchable: rng.Intn(4) != 0,
+			})
+		}
+		maxJump := rng.Intn(6)
+		pol := Policy{MaxBatch: 1 + rng.Intn(6), MaxChars: 400, MaxJump: maxJump}
+		order := drainAll(q, pol)
+		if len(order) != n {
+			t.Fatalf("seed %d: drained %d of %d jobs", seed, len(order), n)
+		}
+		for pos, id := range order {
+			overtakes := 0
+			for _, earlier := range order[:pos] {
+				if submitted[earlier] > submitted[id] {
+					overtakes++
+				}
+			}
+			if overtakes > maxJump {
+				t.Fatalf("seed %d: job %s overtaken %d times, aging bound is %d (order %v)",
+					seed, id, overtakes, maxJump, order)
+			}
+		}
+	}
+}
+
+func TestQueueStatsPending(t *testing.T) {
+	q := NewQueue()
+	pushN(q, Item{ID: "a"}, Item{ID: "b"})
+	if got := q.Stats().Pending; got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	q.Pop(Policy{MaxBatch: 1})
+	if got := q.Stats().Pending; got != 1 {
+		t.Fatalf("Pending after pop = %d, want 1", got)
+	}
+	if q.Stats().SoloJobs != 1 {
+		t.Fatalf("SoloJobs = %d, want 1", q.Stats().SoloJobs)
+	}
+}

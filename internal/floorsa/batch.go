@@ -1,0 +1,62 @@
+package floorsa
+
+import (
+	"context"
+
+	"eblow/internal/pack2d"
+	"eblow/internal/par"
+)
+
+// BatchItem is one instance's packing task inside a batched cohort run. Ctx
+// must be non-nil: it cancels this item alone, so one job's deadline or
+// cancellation never bleeds into its cohort mates.
+type BatchItem struct {
+	Ctx    context.Context
+	Blocks []Block
+	VSB    []int64
+	W, H   int
+	Opt    Options
+}
+
+// PackBatch runs many independent Pack calls as one cohort. The per-instance
+// annealing state — shrunk dimensions, cached positions, the two Fenwick
+// trees, per-region writing times — is carved from one shared struct-of-
+// arrays arena sized for the whole cohort, so every instance's hot arrays
+// sit contiguously instead of allocator-scattered, and one par.For sweep
+// advances the same annealing kernel across all instances in lockstep.
+// workers bounds the sweep's concurrency (<= 1 runs the sweep inline).
+//
+// Results are bit-identical to calling Pack per item with the same context
+// and options — the batch-identity contract (docs/INVARIANTS.md): the arena
+// changes only where the arrays live, and each item consumes only its own
+// seeded randomness.
+func PackBatch(items []BatchItem, workers int) []*Result {
+	out := make([]*Result, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	// Size the arena for every annealing state the cohort can build: one
+	// state per restart, plus the temperature-seeding state that restart 0
+	// reuses unless RandomInitial forces a fresh one. Overestimating only
+	// wastes capacity; underestimating only costs locality (the arena falls
+	// back to make when exhausted).
+	var i32s, ints, i64s, bools int
+	for _, it := range items {
+		n := len(it.Blocks)
+		states := it.Opt.Restarts
+		if states <= 0 || it.Opt.SkipAnneal {
+			states = 1
+		}
+		states++
+		i32s += states * pack2d.IncrementalInt32s(n)
+		ints += states * pack2d.IncrementalInts(n)
+		bools += states * pack2d.IncrementalBools(n)
+		i64s += states * len(it.VSB)
+	}
+	ar := pack2d.NewArena(i32s, ints, i64s, bools)
+	par.For(workers, len(items), func(i int) {
+		it := items[i]
+		out[i] = packRun(it.Ctx, it.Blocks, it.VSB, it.W, it.H, it.Opt, ar)
+	})
+	return out
+}

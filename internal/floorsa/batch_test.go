@@ -1,0 +1,66 @@
+package floorsa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestPackBatchMatchesPack is the kernel-level half of the batch-identity
+// contract: running many instances as one arena-backed cohort must produce
+// bit-identical Results to solo Pack calls, for any sweep worker count and
+// with multi-start restarts in play.
+func TestPackBatchMatchesPack(t *testing.T) {
+	var items []BatchItem
+	for i, n := range []int{3, 9, 17, 25, 1} {
+		rng := rand.New(rand.NewSource(int64(i)*911 + 7))
+		blocks, reds, vsb := randomInstance(rng, n, 3)
+		fb := make([]Block, n)
+		for b := range fb {
+			fb[b] = Block{Block: blocks[b], Reductions: reds[b]}
+		}
+		items = append(items, BatchItem{
+			Ctx:    context.Background(),
+			Blocks: fb,
+			VSB:    vsb,
+			W:      120 + 10*i,
+			H:      120,
+			Opt: Options{
+				Seed:       int64(i) + 1,
+				MoveBudget: 400,
+				Restarts:   1 + i%3,
+				Workers:    1 + i%2,
+			},
+		})
+	}
+
+	solo := make([]*Result, len(items))
+	for i, it := range items {
+		solo[i] = Pack(it.Ctx, it.Blocks, it.VSB, it.W, it.H, it.Opt)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got := PackBatch(items, workers)
+			for i := range items {
+				if !reflect.DeepEqual(got[i], solo[i]) {
+					t.Errorf("item %d: batched result diverged from solo Pack\nbatched: %+v\nsolo:    %+v", i, got[i], solo[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPackBatchEmpty covers the degenerate shapes: no items, and an item
+// with no blocks.
+func TestPackBatchEmpty(t *testing.T) {
+	if got := PackBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("PackBatch(nil) returned %d results", len(got))
+	}
+	res := PackBatch([]BatchItem{{Ctx: context.Background(), VSB: []int64{42}, W: 10, H: 10}}, 2)
+	if len(res) != 1 || res[0].WritingTime != 42 {
+		t.Fatalf("empty-blocks item: got %+v, want writing time 42", res[0])
+	}
+}

@@ -1,0 +1,50 @@
+package learn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAvgElapsed(t *testing.T) {
+	st := NewStore()
+	shape := Shape{Kind: "2DOSP", Regions: "1", Chars: "small", VSB: "low", Blank: "loose"}
+
+	if _, ok := st.AvgElapsed(shape, "sa24"); ok {
+		t.Fatal("AvgElapsed reported data for an empty store")
+	}
+
+	st.Record(shape, []RunOutcome{
+		{Name: "sa24", Won: true, Objective: 100, Elapsed: 30 * time.Millisecond},
+		{Name: "greedy", Objective: 120, Elapsed: 2 * time.Millisecond},
+	})
+	st.Record(shape, []RunOutcome{
+		{Name: "sa24", Won: true, Objective: 90, Elapsed: 50 * time.Millisecond},
+	})
+
+	got, ok := st.AvgElapsed(shape, "sa24")
+	if !ok || got != 40*time.Millisecond {
+		t.Fatalf("AvgElapsed(sa24) = %v, %v; want 40ms over two races", got, ok)
+	}
+	if got, ok := st.AvgElapsed(shape, "greedy"); !ok || got != 2*time.Millisecond {
+		t.Fatalf("AvgElapsed(greedy) = %v, %v; want 2ms", got, ok)
+	}
+
+	// A strategy never seen for the shape has no average.
+	if _, ok := st.AvgElapsed(shape, "row25"); ok {
+		t.Fatal("AvgElapsed reported data for an unrecorded strategy")
+	}
+	// Neither does a different shape.
+	other := shape
+	other.Chars = "large"
+	if _, ok := st.AvgElapsed(other, "sa24"); ok {
+		t.Fatal("AvgElapsed leaked across shapes")
+	}
+
+	// Sub-millisecond races truncate to zero total; report no data rather
+	// than an average of 0 that would make every job look free.
+	fast := Shape{Kind: "1DOSP", Regions: "1", Chars: "small", VSB: "low", Blank: "loose"}
+	st.Record(fast, []RunOutcome{{Name: "greedy", Won: true, Objective: 10, Elapsed: 100 * time.Microsecond}})
+	if _, ok := st.AvgElapsed(fast, "greedy"); ok {
+		t.Fatal("AvgElapsed reported a zero-total average")
+	}
+}

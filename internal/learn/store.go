@@ -212,6 +212,26 @@ func (st *Store) Shape(shape Shape) *ShapeStats {
 	return copyShape(ss)
 }
 
+// AvgElapsed returns the strategy's mean recorded wall-clock per race on
+// the shape, and whether the store holds any usable elapsed data for it.
+// The batch scheduler's cost model calls it to replace the static
+// chars-times-regions estimate with measured runtimes once a deployment has
+// traffic history; sub-millisecond strategies (whose recorded total rounds
+// to zero) report false so the caller keeps its static estimate.
+func (st *Store) AvgElapsed(shape Shape, strategy string) (time.Duration, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss := st.total[shape.Key()]
+	if ss == nil {
+		return 0, false
+	}
+	s := ss.Strategies[strategy]
+	if s == nil || s.Races == 0 || s.TotalElapsedMs <= 0 {
+		return 0, false
+	}
+	return time.Duration(s.TotalElapsedMs/int64(s.Races)) * time.Millisecond, true
+}
+
 // ShapeKeys lists the recorded shape keys in sorted order.
 func (st *Store) ShapeKeys() []string {
 	st.mu.Lock()

@@ -1,0 +1,97 @@
+package pack2d
+
+import "sync"
+
+// Arena hands out fixed-length slices carved from a few large contiguous
+// backing arrays — one per element type — so the hot per-instance arrays of
+// a batched cohort (shrunk dimensions, cached positions, the Fenwick trees,
+// per-region writing times) land next to each other in memory instead of
+// wherever the general allocator scattered them. That is the struct-of-
+// arrays layout the batch execution layer wants: one cohort, a handful of
+// cache-dense backing arrays, every instance's state a contiguous window
+// into them.
+//
+// Carving is a bump-pointer append and thread-safe, so concurrent annealing
+// restarts may build their states from one shared arena. An arena whose
+// backing array runs out falls back to the regular allocator — a
+// conservative size estimate costs locality, never correctness. Carved
+// slices have capacity equal to their length, so an append can never bleed
+// into a neighbouring carve.
+type Arena struct {
+	mu   sync.Mutex
+	i32  []int32
+	ints []int
+	i64  []int64
+	b    []bool
+}
+
+// NewArena pre-allocates backing arrays sized for the given element counts
+// per type.
+func NewArena(int32s, ints, int64s, bools int) *Arena {
+	return &Arena{
+		i32:  make([]int32, 0, int32s),
+		ints: make([]int, 0, ints),
+		i64:  make([]int64, 0, int64s),
+		b:    make([]bool, 0, bools),
+	}
+}
+
+// carve bump-allocates a zeroed length-n slice from buf, falling back to
+// make when the remaining capacity is short. The three-index slice pins the
+// capacity so later appends by the caller reallocate instead of writing
+// into the next carve.
+func carve[T any](mu *sync.Mutex, buf *[]T, n int) []T {
+	mu.Lock()
+	defer mu.Unlock()
+	lo := len(*buf)
+	if cap(*buf)-lo < n {
+		return make([]T, n)
+	}
+	*buf = (*buf)[:lo+n]
+	return (*buf)[lo : lo+n : lo+n]
+}
+
+// Int32s carves a zeroed []int32 of length n. A nil arena degrades to make.
+func (a *Arena) Int32s(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return carve(&a.mu, &a.i32, n)
+}
+
+// Ints carves a zeroed []int of length n. A nil arena degrades to make.
+func (a *Arena) Ints(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return carve(&a.mu, &a.ints, n)
+}
+
+// Int64s carves a zeroed []int64 of length n. A nil arena degrades to make.
+func (a *Arena) Int64s(n int) []int64 {
+	if a == nil {
+		return make([]int64, n)
+	}
+	return carve(&a.mu, &a.i64, n)
+}
+
+// Bools carves a zeroed []bool of length n. A nil arena degrades to make.
+func (a *Arena) Bools(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	return carve(&a.mu, &a.b, n)
+}
+
+// IncrementalInt32s returns how many int32 elements one Incremental over n
+// blocks carves (see NewIncrementalArena), so batch callers can size an
+// arena exactly.
+func IncrementalInt32s(n int) int { return 11*n + 2 }
+
+// IncrementalInts returns the []int element count of one Incremental over n
+// blocks.
+func IncrementalInts(n int) int { return n }
+
+// IncrementalBools returns the []bool element count of one Incremental over
+// n blocks.
+func IncrementalBools(n int) int { return n }

@@ -1,6 +1,7 @@
 // HTTP/JSON surface of the job service, mounted by cmd/eblowd:
 //
 //	GET    /v1/solvers            registered strategies
+//	GET    /v1/stats              queue depth, per-state job counts, batch counters
 //	GET    /v1/learn              learned-scheduling statistics snapshot
 //	POST   /v1/jobs               submit a job (benchmark name or inline instance)
 //	GET    /v1/jobs               list jobs in submission order
@@ -41,6 +42,9 @@ func NewHandler(m *Manager) http.Handler {
 			out = append(out, info{Name: e.Name, Doc: e.Doc, OneD: e.OneD, TwoD: e.TwoD, Racing: e.Racing})
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
 	})
 	mux.HandleFunc("GET /v1/learn", func(w http.ResponseWriter, r *http.Request) {
 		store := m.Learn()

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"eblow"
+	"eblow/internal/batch"
 	"eblow/internal/par"
 )
 
@@ -84,6 +85,55 @@ type Config struct {
 	// a record, Submit does not acknowledge a job before its accepted
 	// record is fsynced, and Close flushes and closes the log.
 	WAL *WAL
+	// Batch configures the cost-model scheduler and batched cohort
+	// execution (internal/batch). The zero value keeps the original FIFO
+	// drain byte-for-byte.
+	Batch BatchConfig
+}
+
+// BatchConfig configures the cost-model scheduler and cohort execution.
+// Per-job results are bit-identical either way (the batch-identity
+// contract, docs/INVARIANTS.md); the scheduler changes only which job
+// starts next and which jobs share one cohort's struct-of-arrays kernels.
+type BatchConfig struct {
+	// Enabled switches the drain from FIFO order to cost-model scheduling
+	// with cohort formation.
+	Enabled bool
+	// MaxBatch caps the jobs per execution cohort (0 = 8; 1 disables
+	// cohort formation but keeps cost-model ordering).
+	MaxBatch int
+	// MaxChars is the largest instance (character count) that may join a
+	// cohort (0 = 400); bigger jobs always run solo.
+	MaxChars int
+	// MaxJump is the aging bound: a waiting job may be overtaken by at
+	// most MaxJump later-submitted jobs before the scheduler pins it to
+	// the front of the queue (0 = 16, negative = strict submission order).
+	// It is a hard no-starvation guarantee, not a heuristic.
+	MaxJump int
+	// Workers bounds the goroutines one cohort's lockstep kernels use
+	// (0 = 1). This is per pool slot: a cohort occupies one pool worker
+	// and fans out internally, so Workers > 1 oversubscribes the pool.
+	Workers int
+}
+
+// withDefaults resolves the zero knobs to their documented defaults.
+func (b BatchConfig) withDefaults() BatchConfig {
+	if b.MaxBatch == 0 {
+		b.MaxBatch = 8
+	}
+	if b.MaxChars == 0 {
+		b.MaxChars = 400
+	}
+	switch {
+	case b.MaxJump == 0:
+		b.MaxJump = 16
+	case b.MaxJump < 0:
+		b.MaxJump = 0
+	}
+	if b.Workers <= 0 {
+		b.Workers = 1
+	}
+	return b
 }
 
 // JobSpec describes one solve to enqueue.
@@ -234,6 +284,10 @@ type Manager struct {
 	nextID int
 	// guarded by mu
 	closed bool
+
+	// queue is the cost-model scheduler, nil unless cfg.Batch.Enabled; it
+	// holds exactly the StateQueued jobs. guarded by mu
+	queue *batch.Queue
 }
 
 // New starts a manager with cfg.Workers pool workers. A positive
@@ -244,6 +298,9 @@ type Manager struct {
 // not collected it yet.
 func New(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
+	if cfg.Batch.Enabled {
+		cfg.Batch = cfg.Batch.withDefaults()
+	}
 	m := &Manager{
 		pool:       par.NewPool(cfg.Workers),
 		cfg:        cfg,
@@ -251,6 +308,9 @@ func New(cfg Config) *Manager {
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
 		keyPending: make(map[string]int),
+	}
+	if cfg.Batch.Enabled {
+		m.queue = batch.NewQueue()
 	}
 	if cfg.WAL != nil {
 		m.mu.Lock()
@@ -389,7 +449,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	// Enqueue while still holding mu: Close sets closed under the same
 	// lock before closing the pool, so a submit that saw closed == false
 	// always reaches the pool before Close can shut it.
-	m.pool.Submit(func() { m.run(j) })
+	m.enqueueLocked(j)
 	m.mu.Unlock()
 	if walErr == nil && m.cfg.WAL != nil {
 		walErr = m.cfg.WAL.Flush()
@@ -460,16 +520,142 @@ var solveSpec = func(ctx context.Context, spec JobSpec) (*eblow.Result, error) {
 	return eblow.SolveWith(ctx, spec.Instance, spec.Params)
 }
 
-// run executes one job on a pool worker.
+// effectiveStrategy resolves which registry strategy the spec will run,
+// mirroring solveSpec/eblow.SolveWith's dispatch: an explicit solver name
+// wins, a single non-portfolio strategy runs solo, anything else is the
+// default planner or a race.
+func effectiveStrategy(spec JobSpec) string {
+	if spec.Solver != "" {
+		return spec.Solver
+	}
+	switch {
+	case len(spec.Params.Strategies) == 0:
+		return "eblow"
+	case len(spec.Params.Strategies) == 1 && spec.Params.Strategies[0] != "portfolio":
+		return spec.Params.Strategies[0]
+	default:
+		return "portfolio"
+	}
+}
+
+// enqueueLocked hands a freshly queued job to the drain: the FIFO pool
+// ticket when batching is off, or a scheduler push plus a drain ticket when
+// it is on. Callers hold m.mu.
+func (m *Manager) enqueueLocked(j *job) {
+	if m.queue == nil {
+		m.pool.Submit(func() { m.run(j) })
+		return
+	}
+	strategy := effectiveStrategy(j.spec)
+	m.queue.Push(batch.Item{
+		ID:        j.id,
+		Strategy:  strategy,
+		Kind:      j.spec.Instance.Kind,
+		Chars:     j.spec.Instance.NumCharacters(),
+		Cost:      batch.Estimate(j.spec.Instance, strategy, m.cfg.Learn),
+		Batchable: batch.Batchable(strategy, j.spec.Instance.Kind),
+	})
+	// One ticket per submitted job: a ticket whose jobs were already pulled
+	// into an earlier cohort finds the queue drained and returns.
+	m.pool.Submit(m.drainOne)
+}
+
+// run executes one job on a pool worker (the FIFO drain).
 func (m *Manager) run(j *job) {
 	m.mu.Lock()
-	if j.state != StateQueued || m.closed {
-		// Cancelled while queued (Cancel already wrote the terminal WAL
-		// record), or the manager is shutting down — on shutdown the queued
-		// job's accepted WAL record stays the last word, so the next boot
-		// re-enqueues it instead of recording a spurious cancellation.
+	if !m.startLocked(j) {
 		m.mu.Unlock()
 		return
+	}
+	m.mu.Unlock()
+
+	res, err := solveSpec(j.ctx, m.solveParams(j))
+	saveErr := m.saveLearn()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finishLocked(j, res, err, saveErr)
+}
+
+// drainOne is one scheduler pool ticket: it pops the next unit of work — a
+// single job or a formed cohort — and executes it. Solo picks run the exact
+// solveSpec path the FIFO drain uses; cohorts run through batch.Execute,
+// whose results are bit-identical to solo execution per job.
+func (m *Manager) drainOne() {
+	m.mu.Lock()
+	if m.closed || m.queue == nil {
+		m.mu.Unlock()
+		return
+	}
+	picked := m.queue.Pop(batch.Policy{
+		MaxBatch: m.cfg.Batch.MaxBatch,
+		MaxChars: m.cfg.Batch.MaxChars,
+		MaxJump:  m.cfg.Batch.MaxJump,
+	})
+	jobs := make([]*job, 0, len(picked))
+	for _, it := range picked {
+		// The queue and the job states move in lockstep under mu (Cancel
+		// removes queued jobs from both), so a popped job is StateQueued;
+		// the check is a belt against future drift.
+		if j := m.jobs[it.ID]; j != nil && m.startLocked(j) {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+
+	switch len(jobs) {
+	case 0:
+		return
+	case 1:
+		j := jobs[0]
+		res, err := solveSpec(j.ctx, m.solveParams(j))
+		saveErr := m.saveLearn()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.finishLocked(j, res, err, saveErr)
+	default:
+		units := make([]batch.Unit, len(jobs))
+		for i, j := range jobs {
+			spec := m.solveParams(j)
+			units[i] = batch.Unit{
+				Ctx:      j.ctx,
+				Instance: spec.Instance,
+				Strategy: effectiveStrategy(spec),
+				Params:   spec.Params,
+			}
+		}
+		results := batch.Execute(units, m.cfg.Batch.Workers)
+		saveErr := m.saveLearn()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		// Finish in submission order so events, WAL records and learn saves
+		// land in a deterministic sequence for the cohort.
+		for i, j := range jobs {
+			m.finishLocked(j, results[i].Result, results[i].Err, saveErr)
+		}
+	}
+}
+
+// solveParams returns the job's spec with the shared learning store riding
+// along; only the portfolio strategy consults it, and the manager owns
+// persistence (the race records in memory, saveLearn writes the file).
+func (m *Manager) solveParams(j *job) JobSpec {
+	spec := j.spec
+	if m.cfg.Learn != nil {
+		spec.Params.LearnStore = m.cfg.Learn
+	}
+	return spec
+}
+
+// startLocked transitions a job Queued -> Running and writes the started
+// WAL record. It reports false when the job was cancelled while queued
+// (Cancel already wrote the terminal record) or the manager is shutting
+// down — on shutdown the queued job's accepted WAL record stays the last
+// word, so the next boot re-enqueues it instead of recording a spurious
+// cancellation. Callers hold m.mu.
+func (m *Manager) startLocked(j *job) bool {
+	if j.state != StateQueued || m.closed {
+		return false
 	}
 	j.state = StateRunning
 	m.pending--
@@ -477,22 +663,12 @@ func (m *Manager) run(j *job) {
 	j.started = time.Now()
 	m.appendEventLocked(j, fmt.Sprintf("solving %s (%s, %d characters)", j.spec.Instance.Name, j.spec.Instance.Kind, j.spec.Instance.NumCharacters()))
 	m.walAppendLocked(j, walRecord{Op: walOpStarted, Job: j.id, Time: j.started, Key: j.spec.Key})
-	ctx, spec := j.ctx, j.spec
-	m.mu.Unlock()
+	return true
+}
 
-	// The shared learning store rides along on every job; only the
-	// portfolio strategy consults it, and the manager owns persistence
-	// (the race records in memory, saveLearn below writes the file).
-	if m.cfg.Learn != nil {
-		spec.Params.LearnStore = m.cfg.Learn
-	}
-
-	res, err := solveSpec(ctx, spec)
-
-	saveErr := m.saveLearn()
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// finishLocked applies a finished solve's terminal transition: state,
+// result, digest, events, terminal WAL record. Callers hold m.mu.
+func (m *Manager) finishLocked(j *job, res *eblow.Result, err error, saveErr error) {
 	if saveErr != nil {
 		m.appendEventLocked(j, "warning: saving learn store: "+saveErr.Error())
 	}
@@ -592,6 +768,9 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	}
 	switch j.state {
 	case StateQueued:
+		if m.queue != nil {
+			m.queue.Remove(j.id)
+		}
 		j.state = StateCanceled
 		m.pending--
 		m.keyPendingAddLocked(j, -1)

@@ -1,0 +1,85 @@
+package service
+
+// StateCounts breaks the manager's job records down by lifecycle state.
+// Counts cover the records currently retained (RecordTTL evicts old
+// terminal records, so Done/Failed/Canceled are windows, not lifetime
+// totals).
+type StateCounts struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	Total    int `json:"total"`
+}
+
+// BatchStats reports the cost-model scheduler's activity counters.
+type BatchStats struct {
+	// Enabled mirrors Config.Batch.Enabled.
+	Enabled bool `json:"enabled"`
+	// Cohorts counts multi-job cohorts formed since boot.
+	Cohorts int `json:"cohorts"`
+	// BatchedJobs counts jobs executed as part of a cohort.
+	BatchedJobs int `json:"batchedJobs"`
+	// SoloJobs counts jobs the scheduler dispatched alone.
+	SoloJobs int `json:"soloJobs"`
+	// MaxCohort is the largest cohort formed so far.
+	MaxCohort int `json:"maxCohort"`
+	// Overtakes counts job-over-job queue jumps by the cost model.
+	Overtakes int `json:"overtakes"`
+	// AgedPops counts dispatches forced by the aging bound rather than
+	// chosen by cost — each one is a job the fairness guarantee rescued.
+	AgedPops int `json:"agedPops"`
+}
+
+// Stats is a point-in-time operational snapshot of the service, exposed as
+// GET /v1/stats.
+type Stats struct {
+	// Workers is the shared pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the number of jobs waiting to start.
+	QueueDepth int `json:"queueDepth"`
+	// InFlight is the number of jobs currently solving.
+	InFlight int `json:"inFlight"`
+	// Jobs breaks the retained records down by state.
+	Jobs StateCounts `json:"jobs"`
+	// Batch reports the scheduler's counters (zero-valued with Enabled
+	// false when the FIFO drain is active).
+	Batch BatchStats `json:"batch"`
+}
+
+// Stats snapshots the service's operational counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Workers: m.pool.Workers(), QueueDepth: m.pending}
+	for _, id := range m.order {
+		switch m.jobs[id].state {
+		case StateQueued:
+			s.Jobs.Queued++
+		case StateRunning:
+			s.Jobs.Running++
+		case StateDone:
+			s.Jobs.Done++
+		case StateFailed:
+			s.Jobs.Failed++
+		case StateCanceled:
+			s.Jobs.Canceled++
+		}
+		s.Jobs.Total++
+	}
+	s.InFlight = s.Jobs.Running
+	if m.queue != nil {
+		qs := m.queue.Stats()
+		s.Batch = BatchStats{
+			Enabled:     true,
+			Cohorts:     qs.Cohorts,
+			BatchedJobs: qs.BatchedJobs,
+			SoloJobs:    qs.SoloJobs,
+			MaxCohort:   qs.MaxCohort,
+			Overtakes:   qs.Overtakes,
+			AgedPops:    qs.AgedPops,
+		}
+	}
+	return s
+}

@@ -689,7 +689,7 @@ func (m *Manager) replayAcceptedLocked(id string, rec *walRecord) bool {
 	m.pending++
 	m.keyPendingAddLocked(j, 1)
 	m.appendEventLocked(j, "queued for "+solverLabel(j.spec)+" (replayed from WAL)")
-	m.pool.Submit(func() { m.run(j) })
+	m.enqueueLocked(j)
 	return true
 }
 

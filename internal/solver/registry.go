@@ -44,6 +44,13 @@ type Entry struct {
 	// offsets are part of the determinism contract: they keep race results
 	// bit-identical to the pre-registry strategy table.
 	SeedOffset int64
+	// Batchable marks strategies the batch execution layer
+	// (internal/batch) may run as a many-instance cohort with results
+	// bit-identical to solo Solve calls: single-strategy runs whose only
+	// inputs are the instance and (Seed, Restarts, Workers, Deadline).
+	// Meta-strategies that consult shared state (the portfolio's learn
+	// store) or search under an adaptive budget stay solo.
+	Batchable bool
 
 	solve func(ctx context.Context, in *core.Instance, p Params) (*Result, error)
 }
@@ -113,6 +120,14 @@ func (s entrySolver) Solve(ctx context.Context, in *core.Instance, p Params) (*R
 	}
 	finish(r, in, s.e.Name, time.Since(t0))
 	return r, nil
+}
+
+// Finish stamps the uniform Result fields exactly as the registry wrapper
+// does after a raw solve (Elapsed, Strategy fallback, Objective,
+// Feasible). The batched cohort executor uses it so cohort results carry
+// the same stamping as solo entrySolver results.
+func Finish(r *Result, in *core.Instance, name string, elapsed time.Duration) {
+	finish(r, in, name, elapsed)
 }
 
 // registry holds the entries in registration order; that order is the
