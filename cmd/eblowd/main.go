@@ -40,6 +40,20 @@
 // depth and the scheduler's counters; -batch=false restores the plain
 // FIFO drain.
 //
+// With -dispatch the process becomes a fleet front-end instead of a solver:
+// it owns the public API and shards submitted jobs across the named backend
+// eblowd nodes by consistent hashing on the instance's learned-scheduling
+// fingerprint, so every job of one shape lands on the same node and that
+// node's learn store and batch cohorts stay hot. Status, results, cancels
+// and event streams are proxied back; GET /v1/stats and GET /v1/learn
+// aggregate across the fleet. With -wal the dispatcher keeps its own log of
+// accepted submissions: when a backend node dies (detected after -fail-after
+// failed probes, probed every -health-interval), its unfinished jobs are
+// re-dispatched to the surviving nodes from the logged specs — deterministic
+// re-solving makes the failed-over results bit-identical. Solver-side flags
+// (-workers, -batch, -learn-path, ...) are ignored in dispatch mode; they
+// belong to the backend nodes.
+//
 // API (JSON unless noted; see docs/eblowd-api.md for the full reference):
 //
 //	GET    /v1/solvers            registered strategies
@@ -56,6 +70,7 @@
 //
 //	eblowd -addr 127.0.0.1:8080 -workers 8
 //	eblowd -addr 127.0.0.1:8080 -learn-path eblow.learn.json
+//	eblowd -addr 127.0.0.1:8090 -dispatch "a=http://127.0.0.1:8081,b=http://127.0.0.1:8082" -wal dispatch.wal
 //	curl -s localhost:8080/v1/jobs -d '{"benchmark": "1T-1", "params": {"seed": 1}}'
 //	curl -s localhost:8080/v1/jobs/j1
 //	curl -sN localhost:8080/v1/jobs/j1/events
@@ -73,9 +88,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"eblow"
+	"eblow/internal/dispatch"
 	"eblow/internal/service"
 )
 
@@ -96,8 +113,18 @@ func main() {
 		batchSize   = flag.Int("batch-size", 8, "max jobs per execution cohort")
 		batchChars  = flag.Int("batch-chars", 400, "largest instance (characters) that may join a cohort; bigger jobs run solo")
 		aging       = flag.Int("aging", 16, "scheduler aging bound: max later-submitted jobs that may overtake a waiting job (-1 = strict submission order)")
+
+		dispatchNodes  = flag.String("dispatch", "", "run as a fleet front-end instead of a solver: comma-separated \"name=url\" backend eblowd nodes to shard jobs across (\"\" runs the normal single-node server)")
+		vnodes         = flag.Int("vnodes", dispatch.DefaultVNodes, "dispatch mode: virtual nodes per backend on the consistent-hash ring")
+		healthInterval = flag.Duration("health-interval", time.Second, "dispatch mode: backend probe-and-sync period")
+		failAfter      = flag.Int("fail-after", 3, "dispatch mode: consecutive failed probes before a node is declared dead and its jobs fail over")
 	)
 	flag.Parse()
+
+	if *dispatchNodes != "" {
+		runDispatch(*addr, *dispatchNodes, *walPath, *authKeys, *vnodes, *healthInterval, *failAfter)
+		return
+	}
 
 	var store *eblow.LearnStore
 	if *learnPath != "" {
@@ -170,5 +197,98 @@ func main() {
 	}
 	// Serve returns as soon as Shutdown starts; wait for the drain and the
 	// manager teardown to actually finish before exiting.
+	<-shutdownDone
+}
+
+// parseNodes parses the -dispatch value: comma-separated "name=url" pairs.
+func parseNodes(spec string) ([]dispatch.NodeConfig, error) {
+	var nodes []dispatch.NodeConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -dispatch entry %q: want name=url", part)
+		}
+		nodes = append(nodes, dispatch.NodeConfig{Name: name, URL: url})
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("-dispatch names no nodes")
+	}
+	return nodes, nil
+}
+
+// runDispatch is the -dispatch main: fleet front-end instead of solver.
+func runDispatch(addr, nodesSpec, walPath, authKeys string, vnodes int, healthInterval time.Duration, failAfter int) {
+	nodes, err := parseNodes(nodesSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wal *dispatch.WAL
+	if walPath != "" {
+		if wal, err = dispatch.OpenWAL(walPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	d, err := dispatch.New(dispatch.Config{
+		Nodes:          nodes,
+		VNodes:         vnodes,
+		HealthInterval: healthInterval,
+		FailAfter:      failAfter,
+		WAL:            wal,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wal != nil {
+		// New consumed the log: report what the replay found (the chaos
+		// test greps this line).
+		s := wal.Stats()
+		log.Printf("dispatch wal %s: %d records, %d jobs resumed, %d terminal records restored, %d lines skipped",
+			walPath, s.Records, s.Resumed, s.Terminal, s.SkippedLines)
+	}
+
+	handler := http.Handler(dispatch.NewHandler(d))
+	if authKeys != "" {
+		keyring, err := service.LoadKeyring(authKeys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("auth on, %d API keys from %s", keyring.Len(), authKeys)
+		handler = keyring.Wrap(handler)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Print("shutting down")
+		// Close the dispatcher first: it ends open event streams, so the
+		// HTTP drain below cannot park behind an attached subscriber. The
+		// backend nodes are separate processes and keep running.
+		d.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	// The smoke tests parse this line to find a randomly assigned port.
+	fmt.Printf("eblowd: dispatching across %d nodes, listening on http://%s\n", len(nodes), ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
 	<-shutdownDone
 }

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"sort"
+	"sync"
 
 	"eblow/internal/core"
 )
@@ -66,13 +67,19 @@ type Stats struct {
 }
 
 // Queue is the cost-model scheduler: a pending set ordered by submission,
-// popped by cost estimate under a hard aging bound. It is a plain data
-// structure — deterministic, no clock, no goroutines — and is not safe for
-// concurrent use; the job service drives it under its own mutex.
+// popped by cost estimate under a hard aging bound. It is deterministic —
+// no clock, no goroutines — and safe for concurrent use: every method
+// takes the queue's own mutex, so readers that bypass the job service's
+// lock (the GET /v1/stats snapshot under load) still see consistent
+// counters.
 type Queue struct {
-	items   []*Item // pending jobs in submission (seq) order
+	mu sync.Mutex
+	// guarded by mu — pending jobs in submission (seq) order
+	items []*Item
+	// guarded by mu
 	nextSeq int
-	stats   Stats
+	// guarded by mu
+	stats Stats
 }
 
 // NewQueue returns an empty scheduler queue.
@@ -80,17 +87,25 @@ func NewQueue() *Queue { return &Queue{} }
 
 // Push appends a job to the pending set.
 func (q *Queue) Push(it Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	it.seq = q.nextSeq
 	q.nextSeq++
 	q.items = append(q.items, &it)
 }
 
 // Len returns the pending job count.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
 
 // Remove deletes the job with the given id from the pending set (a cancel
 // while queued). It reports whether the job was present.
 func (q *Queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	for i, it := range q.items {
 		if it.ID == id {
 			q.items = append(q.items[:i], q.items[i+1:]...)
@@ -100,8 +115,11 @@ func (q *Queue) Remove(id string) bool {
 	return false
 }
 
-// Stats returns the activity counters with Pending filled in.
+// Stats returns the activity counters with Pending filled in. The snapshot
+// is internally consistent even against a concurrent Push or Pop.
 func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	s := q.stats
 	s.Pending = len(q.items)
 	return s
@@ -119,6 +137,8 @@ func (q *Queue) Stats() Stats {
 // job at the bound would have been pinned first), and cohort mates are
 // admitted only if every job left waiting stays within the bound.
 func (q *Queue) Pop(pol Policy) []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if len(q.items) == 0 {
 		return nil
 	}
@@ -168,7 +188,7 @@ func (q *Queue) Pop(pol Policy) []Item {
 			if len(sel) >= pol.MaxBatch {
 				break
 			}
-			if q.fits(sel, idx, pol.MaxJump) {
+			if q.fitsLocked(sel, idx, pol.MaxJump) {
 				sel = append(sel, idx)
 			}
 		}
@@ -213,9 +233,9 @@ func (q *Queue) Pop(pol Policy) []Item {
 	return batch
 }
 
-// fits reports whether adding candidate idx to the selection keeps every
-// job left waiting within the aging bound.
-func (q *Queue) fits(sel []int, idx, maxJump int) bool {
+// fitsLocked reports whether adding candidate idx to the selection keeps
+// every job left waiting within the aging bound. Callers hold q.mu.
+func (q *Queue) fitsLocked(sel []int, idx, maxJump int) bool {
 	c := q.items[idx]
 	for j, it := range q.items {
 		if j == idx {

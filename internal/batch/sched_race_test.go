@@ -1,0 +1,98 @@
+package batch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"eblow/internal/core"
+)
+
+// TestQueueConcurrentAccess drives Push, Pop, Remove, Len and Stats from
+// competing goroutines. The queue used to rely entirely on the service's
+// mutex; now that GET /v1/stats (and the dispatcher's fleet aggregation)
+// can read counters concurrently, the queue carries its own lock — this
+// test is the -race witness for it.
+func TestQueueConcurrentAccess(t *testing.T) {
+	q := NewQueue()
+	pol := Policy{MaxBatch: 4, MaxChars: 100, MaxJump: 8}
+	const producers = 4
+	const perProducer = 200
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(Item{
+					ID:        fmt.Sprintf("p%d-%d", p, i),
+					Strategy:  "sa24",
+					Kind:      core.OneD,
+					Chars:     20 + i%10,
+					Cost:      float64(i % 7),
+					Batchable: i%3 != 0,
+				})
+			}
+		}(p)
+	}
+	var popped int
+	var popWg sync.WaitGroup
+	var mu sync.Mutex
+	for c := 0; c < 2; c++ {
+		popWg.Add(1)
+		go func() {
+			defer popWg.Done()
+			for {
+				batch := q.Pop(pol)
+				if batch == nil {
+					mu.Lock()
+					done := popped >= producers*perProducer
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				popped += len(batch)
+				mu.Unlock()
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var statsWg sync.WaitGroup
+	statsWg.Add(1)
+	go func() {
+		defer statsWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := q.Stats()
+			if s.BatchedJobs < 2*s.Cohorts {
+				t.Errorf("inconsistent stats snapshot: %+v", s)
+				return
+			}
+			_ = q.Len()
+		}
+	}()
+
+	wg.Wait()
+	popWg.Wait()
+	close(stop)
+	statsWg.Wait()
+
+	if popped != producers*perProducer {
+		t.Fatalf("popped %d jobs, pushed %d", popped, producers*perProducer)
+	}
+	s := q.Stats()
+	if s.Pending != 0 {
+		t.Fatalf("queue not drained: %+v", s)
+	}
+	if s.SoloJobs+s.BatchedJobs != popped {
+		t.Fatalf("counters disagree with pops: %+v vs %d", s, popped)
+	}
+}

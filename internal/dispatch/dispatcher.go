@@ -1,0 +1,994 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"eblow"
+	"eblow/internal/learn"
+	"eblow/internal/service"
+)
+
+// NodeConfig names one backend solver node of the fleet.
+type NodeConfig struct {
+	// Name is the node's stable identity: it seeds the hash ring, appears
+	// in job statuses and WAL records, and must stay the same across node
+	// restarts (the URL may change; the name is what routing keys stick to).
+	Name string
+	// URL is the node's base HTTP address, e.g. "http://10.0.0.7:8080".
+	URL string
+}
+
+// Config configures a Dispatcher.
+type Config struct {
+	// Nodes is the backend fleet (at least one, unique names).
+	Nodes []NodeConfig
+	// VNodes is the virtual-node count per backend on the hash ring
+	// (<= 0 uses DefaultVNodes).
+	VNodes int
+	// HealthInterval is the per-node probe-and-sync period (<= 0 means
+	// 1s). Each cycle fetches the node's job list, which doubles as the
+	// health probe and the job-state sync.
+	HealthInterval time.Duration
+	// FailAfter is how many consecutive failed probes mark a node dead and
+	// trigger failover (<= 0 means 3). Probes back off exponentially while
+	// a node stays unreachable, and a dead node that answers again rejoins
+	// the ring.
+	FailAfter int
+	// WAL is the dispatcher's durable log of accepted submissions (see
+	// OpenWAL); nil disables durability. The dispatcher owns it from here
+	// on: New replays it, Submit fsyncs the accepted spec before the ack,
+	// and Close closes it.
+	WAL *WAL
+	// Transport overrides the HTTP transport used for backend calls (nil
+	// uses http.DefaultTransport). Tests inject httptest transports here.
+	Transport http.RoundTripper
+	// Logf receives operational log lines (node death, failover, rejoin);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// ErrNotFound is returned for an unknown public job ID.
+var ErrNotFound = errors.New("dispatch: no such job")
+
+// ErrClosed is returned when submitting to a closed dispatcher.
+var ErrClosed = errors.New("dispatch: dispatcher is closed")
+
+// ErrNodeDown is returned when an operation needs the job's backend node
+// and that node is currently unreachable.
+var ErrNodeDown = errors.New("dispatch: the job's node is unreachable")
+
+// jobRecord is the dispatcher's record of one public job.
+//
+// The status field holds the job's last rendered public document. Status
+// maps are immutable once stored: every update replaces the whole map, so
+// a handler that snapshotted a reference under mu may marshal it after
+// unlocking without racing the sync loops.
+type jobRecord struct {
+	id         string
+	body       []byte // verbatim submit body, re-posted on failover
+	routingKey string
+	name       string // instance name
+	kind       string
+	solver     string // solver label for synthesized statuses
+	label      string
+	submitted  time.Time
+
+	// node is the owning backend ("" while waiting for one); mutated only
+	// while holding the Dispatcher's mu, like every field below.
+	node        string
+	backendID   string
+	state       string
+	digest      string
+	errMsg      string
+	status      map[string]any
+	terminal    bool
+	replayed    bool
+	walDone     bool // the terminal WAL record has been written
+	dispatching bool // a dispatch attempt is in flight; don't start another
+}
+
+// nodeState is the dispatcher's view of one backend. The client is
+// stateless and safe for concurrent use; alive and fails are mutated only
+// while holding the Dispatcher's mu.
+type nodeState struct {
+	name   string
+	url    string
+	client *nodeClient
+	alive  bool
+	fails  int
+}
+
+// Dispatcher shards jobs across the fleet and proxies the public API.
+type Dispatcher struct {
+	cfg Config
+
+	mu sync.Mutex
+	// guarded by mu — hash ring of the currently-alive nodes
+	ring *Ring
+	// guarded by mu
+	nodes map[string]*nodeState
+	// nodeOrder is the config order of the node names.
+	// immutable after construction
+	nodeOrder []string
+	// guarded by mu
+	jobs map[string]*jobRecord
+	// guarded by mu — submission order of the keys of jobs
+	order []string
+	// guarded by mu
+	nextID int
+	// guarded by mu
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New validates the fleet config, replays the WAL if one is given, and
+// starts the per-node health/sync loops plus the re-dispatch janitor.
+func New(cfg Config) (*Dispatcher, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("dispatch: a fleet needs at least one node")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	d := &Dispatcher{
+		cfg:   cfg,
+		ring:  NewRing(cfg.VNodes),
+		nodes: make(map[string]*nodeState),
+		jobs:  make(map[string]*jobRecord),
+		stop:  make(chan struct{}),
+	}
+	for _, nc := range cfg.Nodes {
+		if nc.Name == "" || nc.URL == "" {
+			return nil, fmt.Errorf("dispatch: node needs a name and a URL, got %q=%q", nc.Name, nc.URL)
+		}
+		if _, dup := d.nodes[nc.Name]; dup {
+			return nil, fmt.Errorf("dispatch: duplicate node name %q", nc.Name)
+		}
+		d.nodes[nc.Name] = &nodeState{
+			name:   nc.Name,
+			url:    nc.URL,
+			client: newNodeClient(nc.Name, nc.URL, cfg.Transport),
+			alive:  true, // optimistic: the first failed probes evict it
+		}
+		d.nodeOrder = append(d.nodeOrder, nc.Name)
+		d.ring.Add(nc.Name)
+	}
+	if cfg.WAL != nil {
+		d.mu.Lock()
+		d.replayWALLocked()
+		d.mu.Unlock()
+	}
+	for _, name := range d.nodeOrder {
+		d.wg.Add(1)
+		go d.watchNode(name)
+	}
+	d.wg.Add(1)
+	go d.janitor()
+	return d, nil
+}
+
+// logf forwards to Config.Logf when set.
+func (d *Dispatcher) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Nodes returns the fleet's node names in config order.
+func (d *Dispatcher) Nodes() []string { return append([]string(nil), d.nodeOrder...) }
+
+// Owner reports which node currently owns the job ("" while unassigned).
+func (d *Dispatcher) Owner(id string) (node string, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, found := d.jobs[id]
+	if !found {
+		return "", false
+	}
+	return j.node, true
+}
+
+// Submit accepts one public submission: the body is validated exactly as a
+// backend would (service.ParseSubmit), the routing key is the instance's
+// learned-scheduling fingerprint, the accepted spec is fsynced to the
+// dispatcher WAL before the ack, and the job is dispatched to the ring
+// owner. A submission with no reachable owner is still accepted — it waits
+// unassigned and the janitor dispatches it as soon as a node can take it.
+func (d *Dispatcher) Submit(body []byte) (map[string]any, error) {
+	spec, err := service.ParseSubmit(body)
+	if err != nil {
+		return nil, err
+	}
+	shape := eblow.Fingerprint(spec.Instance)
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	d.nextID++
+	j := &jobRecord{
+		id:         fmt.Sprintf("j%d", d.nextID),
+		body:       append([]byte(nil), body...),
+		routingKey: shape.Key(),
+		name:       spec.Instance.Name,
+		kind:       spec.Instance.Kind.String(),
+		solver:     specLabel(spec),
+		label:      spec.Label,
+		submitted:  time.Now(),
+		state:      string(service.StateQueued),
+	}
+	j.status = synthStatus(j)
+	d.jobs[j.id] = j
+	d.order = append(d.order, j.id)
+	rec := walRecord{
+		Op: walOpAccepted, Job: j.id, Time: j.submitted,
+		Body: append(json.RawMessage(nil), body...), RoutingKey: j.routingKey,
+		Name: j.name, Kind: j.kind, Solver: spec.Solver, Label: j.label,
+	}
+	d.mu.Unlock()
+
+	if d.cfg.WAL != nil {
+		if err := d.cfg.WAL.Append(rec); err != nil {
+			// The job will run, but the ack must not promise durability it
+			// cannot keep — same contract as the single-node service.
+			d.tryDispatch(j.id)
+			return d.snapshot(j.id), fmt.Errorf("%w: job %s: %v", service.ErrNotDurable, j.id, err)
+		}
+	}
+	d.tryDispatch(j.id)
+	return d.snapshot(j.id), nil
+}
+
+// snapshot returns the job's current public status document.
+func (d *Dispatcher) snapshot(id string) map[string]any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.jobs[id]
+	if j == nil {
+		return nil
+	}
+	return j.status
+}
+
+// specLabel mirrors the service's solver labeling for synthesized
+// statuses.
+func specLabel(spec service.JobSpec) string {
+	switch {
+	case spec.Solver != "":
+		return spec.Solver
+	case len(spec.Params.Strategies) == 1:
+		return spec.Params.Strategies[0]
+	case len(spec.Params.Strategies) > 1:
+		return fmt.Sprintf("portfolio of %v", spec.Params.Strategies)
+	default:
+		return "eblow"
+	}
+}
+
+// synthStatus renders a public status document from the dispatcher's own
+// record — used while a job waits unassigned, after a replay, and as the
+// fallback when the owning node cannot be asked.
+func synthStatus(j *jobRecord) map[string]any {
+	m := map[string]any{
+		"id":        j.id,
+		"solver":    j.solver,
+		"instance":  j.name,
+		"kind":      j.kind,
+		"state":     j.state,
+		"submitted": j.submitted,
+	}
+	if j.label != "" {
+		m["label"] = j.label
+	}
+	if j.node != "" {
+		m["node"] = j.node
+	}
+	if j.errMsg != "" {
+		m["error"] = j.errMsg
+	}
+	if j.replayed {
+		m["replayed"] = true
+	}
+	if j.digest != "" {
+		m["result"] = map[string]any{"digest": j.digest}
+	}
+	return m
+}
+
+// tryDispatch posts the job to its ring owner if it is unassigned. Safe to
+// call at any time; a job that is terminal, already assigned, mid-dispatch
+// or without a reachable owner is left alone.
+func (d *Dispatcher) tryDispatch(id string) {
+	d.mu.Lock()
+	j := d.jobs[id]
+	if j == nil || j.terminal || j.node != "" || j.dispatching || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	owner := d.ring.Owner(j.routingKey)
+	if owner == "" {
+		d.mu.Unlock()
+		return
+	}
+	ns := d.nodes[owner]
+	j.dispatching = true
+	body := j.body
+	d.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), shortTimeout)
+	doc, err := ns.client.submit(ctx, body)
+	cancel()
+
+	d.mu.Lock()
+	j.dispatching = false
+	if err != nil || j.terminal {
+		d.mu.Unlock()
+		if err != nil {
+			d.logf("dispatching %s to node %s failed (will retry): %v", id, owner, err)
+		}
+		return
+	}
+	backendID, _ := doc["id"].(string)
+	if backendID == "" {
+		d.mu.Unlock()
+		d.logf("node %s accepted %s without a job id; leaving it for the janitor", owner, id)
+		return
+	}
+	j.node = owner
+	j.backendID = backendID
+	d.applyBackendDocLocked(j, doc)
+	terminalRec, ok := d.terminalRecordLocked(j)
+	d.mu.Unlock()
+
+	d.walAppend(walRecord{Op: walOpDispatched, Job: id, Time: time.Now(), Node: owner, BackendID: backendID})
+	if ok {
+		d.walAppend(terminalRec)
+	}
+}
+
+// applyBackendDocLocked folds a backend job document into the record: the
+// public rewritten form becomes the status snapshot, and state/digest/error
+// are lifted out for the dispatcher's own bookkeeping. Callers hold d.mu.
+func (d *Dispatcher) applyBackendDocLocked(j *jobRecord, doc map[string]any) {
+	pub := rewriteJobDoc(doc, j.id, j.node)
+	state, digest, errMsg := jobDocFields(pub)
+	if state == "" {
+		return // unreadable document; keep the last good snapshot
+	}
+	j.state = state
+	if digest != "" {
+		j.digest = digest
+	}
+	if errMsg != "" {
+		j.errMsg = errMsg
+	}
+	j.status = pub
+	if service.State(state).Terminal() {
+		j.terminal = true
+	}
+}
+
+// terminalRecordLocked builds the job's terminal WAL record the first time
+// the job is seen terminal; ok is false when no record should be written
+// (not terminal yet, already written, or no WAL). Callers hold d.mu.
+func (d *Dispatcher) terminalRecordLocked(j *jobRecord) (walRecord, bool) {
+	if !j.terminal || j.walDone || d.cfg.WAL == nil {
+		return walRecord{}, false
+	}
+	j.walDone = true
+	return walRecord{
+		Op: walOpTerminal, Job: j.id, Time: time.Now(),
+		Node: j.node, BackendID: j.backendID,
+		State: j.state, Digest: j.digest, Error: j.errMsg,
+	}, true
+}
+
+// walAppend appends a record, logging (not failing) on error: losing a
+// dispatched or terminal record only means extra deterministic re-work
+// after a dispatcher restart.
+func (d *Dispatcher) walAppend(rec walRecord) {
+	if d.cfg.WAL == nil {
+		return
+	}
+	if err := d.cfg.WAL.Append(rec); err != nil && !errors.Is(err, ErrWALClosed) {
+		d.logf("WAL append failed: %v", err)
+	}
+}
+
+// watchNode is one backend's health-and-sync loop: every cycle fetches the
+// node's job list (the probe), folds the listed states into the
+// dispatcher's records, unassigns jobs the backend no longer knows, and —
+// after FailAfter consecutive failures — declares the node dead, drops it
+// from the ring and fails its jobs over to the survivors. Probes back off
+// exponentially while the node stays dead; a successful probe rejoins it.
+func (d *Dispatcher) watchNode(name string) {
+	defer d.wg.Done()
+	d.mu.Lock()
+	ns := d.nodes[name]
+	d.mu.Unlock()
+	delay := d.cfg.HealthInterval
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-time.After(delay):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), shortTimeout)
+		list, err := ns.client.listJobs(ctx)
+		cancel()
+		if err != nil {
+			delay = d.nodeProbeFailed(ns, err)
+			continue
+		}
+		delay = d.cfg.HealthInterval
+		d.nodeProbeOK(ns, list)
+	}
+}
+
+// nodeProbeFailed counts one failed probe, performing death detection and
+// failover at the threshold, and returns the next probe delay (exponential
+// backoff, capped at 8 intervals).
+func (d *Dispatcher) nodeProbeFailed(ns *nodeState, probeErr error) time.Duration {
+	d.mu.Lock()
+	ns.fails++
+	fails := ns.fails
+	died := ns.alive && ns.fails >= d.cfg.FailAfter
+	var orphans []string
+	if died {
+		ns.alive = false
+		d.ring.Remove(ns.name)
+		for _, id := range d.order {
+			j := d.jobs[id]
+			if j.node == ns.name && !j.terminal {
+				j.node = ""
+				j.backendID = ""
+				j.state = string(service.StateQueued)
+				j.status = synthStatus(j)
+				orphans = append(orphans, id)
+			}
+		}
+	}
+	d.mu.Unlock()
+
+	if died {
+		d.logf("node %s is down after %d failed probes (%v); re-dispatching %d jobs to %d surviving nodes",
+			ns.name, fails, probeErr, len(orphans), d.aliveCount())
+		for _, id := range orphans {
+			d.tryDispatch(id)
+		}
+	}
+	backoff := min(fails-d.cfg.FailAfter, 3)
+	if backoff < 0 {
+		backoff = 0
+	}
+	return d.cfg.HealthInterval << backoff
+}
+
+// nodeProbeOK folds a successful probe's job list into the dispatcher's
+// records and rejoins the node if it had been marked dead.
+func (d *Dispatcher) nodeProbeOK(ns *nodeState, list []map[string]any) {
+	byID := make(map[string]map[string]any, len(list))
+	for _, doc := range list {
+		if id, _ := doc["id"].(string); id != "" {
+			byID[id] = doc
+		}
+	}
+	d.mu.Lock()
+	ns.fails = 0
+	rejoined := !ns.alive
+	if rejoined {
+		ns.alive = true
+		d.ring.Add(ns.name)
+	}
+	var terminalRecs []walRecord
+	var lost []string
+	for _, id := range d.order {
+		j := d.jobs[id]
+		if j.node != ns.name || j.terminal {
+			continue
+		}
+		doc, known := byID[j.backendID]
+		if !known {
+			// The backend no longer knows the job (it restarted with an
+			// empty queue, or evicted the record): hand it back to the
+			// janitor for a deterministic re-dispatch.
+			j.node = ""
+			j.backendID = ""
+			j.state = string(service.StateQueued)
+			j.status = synthStatus(j)
+			lost = append(lost, id)
+			continue
+		}
+		d.applyBackendDocLocked(j, doc)
+		if rec, ok := d.terminalRecordLocked(j); ok {
+			terminalRecs = append(terminalRecs, rec)
+		}
+	}
+	d.mu.Unlock()
+
+	if rejoined {
+		d.logf("node %s rejoined the ring", ns.name)
+	}
+	for _, rec := range terminalRecs {
+		d.walAppend(rec)
+	}
+	for _, id := range lost {
+		d.tryDispatch(id)
+	}
+}
+
+// aliveCount returns how many nodes are currently on the ring.
+func (d *Dispatcher) aliveCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ring.Len()
+}
+
+// janitor periodically re-dispatches unassigned jobs — submissions that
+// arrived while their owner was down, and failover orphans whose first
+// re-dispatch attempt failed.
+func (d *Dispatcher) janitor() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+		}
+		d.mu.Lock()
+		var waiting []string
+		for _, id := range d.order {
+			j := d.jobs[id]
+			if j.node == "" && !j.terminal && !j.dispatching {
+				waiting = append(waiting, id)
+			}
+		}
+		d.mu.Unlock()
+		for _, id := range waiting {
+			d.tryDispatch(id)
+		}
+	}
+}
+
+// Status returns the job's public status document, asking the owning node
+// live when possible and falling back to the dispatcher's last snapshot
+// when the job is unassigned, terminal, or its node cannot answer.
+func (d *Dispatcher) Status(ctx context.Context, id string) (map[string]any, error) {
+	d.mu.Lock()
+	j := d.jobs[id]
+	if j == nil {
+		d.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	node, backendID, cached := j.node, j.backendID, j.status
+	terminal := j.terminal
+	var ns *nodeState
+	if node != "" {
+		ns = d.nodes[node]
+	}
+	d.mu.Unlock()
+
+	if ns == nil || terminal {
+		return cached, nil
+	}
+	doc, code, err := ns.client.get(ctx, "/v1/jobs/"+backendID)
+	if err != nil || code != http.StatusOK {
+		return cached, nil
+	}
+	d.mu.Lock()
+	if j.node == node { // not failed over while we asked
+		d.applyBackendDocLocked(j, doc)
+	}
+	rec, ok := d.terminalRecordLocked(j)
+	out := j.status
+	d.mu.Unlock()
+	if ok {
+		d.walAppend(rec)
+	}
+	return out, nil
+}
+
+// Result proxies the job's full result (stencil plan included) from the
+// owning node. A terminal job whose node no longer has the record answers
+// with the dispatcher's digest-only snapshot, like a WAL-replayed record.
+func (d *Dispatcher) Result(ctx context.Context, id string) (map[string]any, int, error) {
+	d.mu.Lock()
+	j := d.jobs[id]
+	if j == nil {
+		d.mu.Unlock()
+		return nil, 0, ErrNotFound
+	}
+	node, backendID, cached := j.node, j.backendID, j.status
+	terminal := j.terminal
+	var ns *nodeState
+	if node != "" {
+		ns = d.nodes[node]
+	}
+	d.mu.Unlock()
+
+	if ns != nil {
+		doc, code, err := ns.client.get(ctx, "/v1/jobs/"+backendID+"/result")
+		if err == nil {
+			if code != http.StatusOK {
+				// Pass backend refusals (409 not ready, 404 evicted)
+				// through with the backend's own document.
+				return rewriteJobDoc(doc, id, node), code, nil
+			}
+			return rewriteJobDoc(doc, id, node), http.StatusOK, nil
+		}
+	}
+	if terminal {
+		return cached, http.StatusOK, nil
+	}
+	if ns == nil {
+		return nil, 0, fmt.Errorf("%w: job %s is waiting for a node", ErrNodeDown, id)
+	}
+	return nil, 0, fmt.Errorf("%w: job %s on node %s", ErrNodeDown, id, node)
+}
+
+// Cancel proxies a cancellation. An unassigned job is cancelled locally;
+// a job whose node is unreachable returns ErrNodeDown (retry after the
+// failover re-homes it).
+func (d *Dispatcher) Cancel(ctx context.Context, id string) (map[string]any, error) {
+	d.mu.Lock()
+	j := d.jobs[id]
+	if j == nil {
+		d.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if j.terminal {
+		out := j.status
+		d.mu.Unlock()
+		return out, nil
+	}
+	if j.node == "" {
+		j.state = string(service.StateCanceled)
+		j.terminal = true
+		j.errMsg = context.Canceled.Error()
+		j.status = synthStatus(j)
+		rec, ok := d.terminalRecordLocked(j)
+		out := j.status
+		d.mu.Unlock()
+		if ok {
+			d.walAppend(rec)
+		}
+		return out, nil
+	}
+	node, backendID := j.node, j.backendID
+	ns := d.nodes[node]
+	d.mu.Unlock()
+
+	doc, code, err := ns.client.cancel(ctx, backendID)
+	if err != nil || code != http.StatusOK {
+		if err == nil {
+			return nil, fmt.Errorf("dispatch: node %s refused the cancel (HTTP %d)", node, code)
+		}
+		return nil, fmt.Errorf("%w: job %s on node %s: %v", ErrNodeDown, id, node, err)
+	}
+	d.mu.Lock()
+	if j.node == node {
+		d.applyBackendDocLocked(j, doc)
+	}
+	rec, ok := d.terminalRecordLocked(j)
+	out := j.status
+	d.mu.Unlock()
+	if ok {
+		d.walAppend(rec)
+	}
+	return out, nil
+}
+
+// List returns every public job's last status snapshot in submission
+// order. Snapshots refresh on the health-sync cadence (plus every live
+// Status call), so a just-finished job may read as running for up to one
+// HealthInterval.
+func (d *Dispatcher) List() []map[string]any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]map[string]any, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.jobs[id].status)
+	}
+	return out
+}
+
+// NodeStatus is one backend's entry in the aggregated fleet stats.
+type NodeStatus struct {
+	Name    string         `json:"name"`
+	URL     string         `json:"url"`
+	Healthy bool           `json:"healthy"`
+	Error   string         `json:"error,omitempty"`
+	Stats   *service.Stats `json:"stats,omitempty"`
+}
+
+// DispatcherStats reports the dispatcher's own job table.
+type DispatcherStats struct {
+	// Jobs breaks the public job records down by state.
+	Jobs service.StateCounts `json:"jobs"`
+	// Unassigned counts jobs waiting for a reachable node.
+	Unassigned int `json:"unassigned"`
+	// Nodes and AliveNodes size the fleet.
+	Nodes      int `json:"nodes"`
+	AliveNodes int `json:"aliveNodes"`
+}
+
+// FleetStats is the dispatcher's GET /v1/stats document: the dispatcher's
+// own table, each node's live snapshot, and the fleet-wide sums.
+type FleetStats struct {
+	Dispatcher DispatcherStats `json:"dispatcher"`
+	Nodes      []NodeStatus    `json:"nodes"`
+	// Fleet sums workers, queue depths, state counts and batch counters
+	// across every node that answered.
+	Fleet service.Stats `json:"fleet"`
+}
+
+// Stats aggregates GET /v1/stats across the fleet: each node is asked
+// live and concurrently; unreachable nodes report their error instead of
+// counters.
+func (d *Dispatcher) Stats(ctx context.Context) FleetStats {
+	d.mu.Lock()
+	out := FleetStats{Dispatcher: DispatcherStats{Nodes: len(d.nodeOrder), AliveNodes: d.ring.Len()}}
+	for _, id := range d.order {
+		j := d.jobs[id]
+		switch service.State(j.state) {
+		case service.StateQueued:
+			out.Dispatcher.Jobs.Queued++
+		case service.StateRunning:
+			out.Dispatcher.Jobs.Running++
+		case service.StateDone:
+			out.Dispatcher.Jobs.Done++
+		case service.StateFailed:
+			out.Dispatcher.Jobs.Failed++
+		case service.StateCanceled:
+			out.Dispatcher.Jobs.Canceled++
+		}
+		out.Dispatcher.Jobs.Total++
+		if j.node == "" && !j.terminal {
+			out.Dispatcher.Unassigned++
+		}
+	}
+	clients := make([]*nodeState, 0, len(d.nodeOrder))
+	for _, name := range d.nodeOrder {
+		clients = append(clients, d.nodes[name])
+	}
+	d.mu.Unlock()
+
+	out.Nodes = make([]NodeStatus, len(clients))
+	var wg sync.WaitGroup
+	for i, ns := range clients {
+		wg.Add(1)
+		go func(i int, ns *nodeState) {
+			defer wg.Done()
+			st := NodeStatus{Name: ns.name, URL: ns.url}
+			s, err := ns.client.stats(ctx)
+			if err != nil {
+				st.Error = err.Error()
+			} else {
+				st.Healthy = true
+				st.Stats = &s
+			}
+			out.Nodes[i] = st
+		}(i, ns)
+	}
+	wg.Wait()
+	for _, st := range out.Nodes {
+		if st.Stats == nil {
+			continue
+		}
+		addStats(&out.Fleet, *st.Stats)
+	}
+	return out
+}
+
+// addStats sums one node's operational counters into the fleet totals.
+func addStats(dst *service.Stats, src service.Stats) {
+	dst.Workers += src.Workers
+	dst.QueueDepth += src.QueueDepth
+	dst.InFlight += src.InFlight
+	dst.Jobs.Queued += src.Jobs.Queued
+	dst.Jobs.Running += src.Jobs.Running
+	dst.Jobs.Done += src.Jobs.Done
+	dst.Jobs.Failed += src.Jobs.Failed
+	dst.Jobs.Canceled += src.Jobs.Canceled
+	dst.Jobs.Total += src.Jobs.Total
+	dst.Batch.Enabled = dst.Batch.Enabled || src.Batch.Enabled
+	dst.Batch.Cohorts += src.Batch.Cohorts
+	dst.Batch.BatchedJobs += src.Batch.BatchedJobs
+	dst.Batch.SoloJobs += src.Batch.SoloJobs
+	dst.Batch.Overtakes += src.Batch.Overtakes
+	dst.Batch.AgedPops += src.Batch.AgedPops
+	if src.Batch.MaxCohort > dst.Batch.MaxCohort {
+		dst.Batch.MaxCohort = src.Batch.MaxCohort
+	}
+}
+
+// LearnNode is one backend's entry in the aggregated learn stats.
+type LearnNode struct {
+	Name string `json:"name"`
+	// Path is the node's store file ("" when the node has learning
+	// disabled or could not be asked).
+	Path string `json:"path,omitempty"`
+	// Enabled reports whether the node serves learned-scheduling stats.
+	Enabled bool   `json:"enabled"`
+	Error   string `json:"error,omitempty"`
+}
+
+// FleetLearn is the dispatcher's GET /v1/learn document: per-node store
+// identities plus the per-shape statistics merged across the fleet.
+type FleetLearn struct {
+	Nodes []LearnNode `json:"nodes"`
+	// Shapes is the fleet-wide merge: counters add per shape and strategy,
+	// best objectives take the minimum (learn.MergeSnapshots).
+	Shapes map[string]*learn.ShapeStats `json:"shapes"`
+}
+
+// Learn aggregates GET /v1/learn across the fleet. Because routing pins
+// each shape to one node, the merged snapshot is also the sharding story:
+// each shape's races all come from its owning node.
+func (d *Dispatcher) Learn(ctx context.Context) FleetLearn {
+	d.mu.Lock()
+	clients := make([]*nodeState, 0, len(d.nodeOrder))
+	for _, name := range d.nodeOrder {
+		clients = append(clients, d.nodes[name])
+	}
+	d.mu.Unlock()
+
+	type reply struct {
+		node   LearnNode
+		shapes map[string]*learn.ShapeStats
+	}
+	replies := make([]reply, len(clients))
+	var wg sync.WaitGroup
+	for i, ns := range clients {
+		wg.Add(1)
+		go func(i int, ns *nodeState) {
+			defer wg.Done()
+			r := reply{node: LearnNode{Name: ns.name}}
+			path, shapes, enabled, err := ns.client.learnSnapshot(ctx)
+			switch {
+			case err != nil:
+				r.node.Error = err.Error()
+			case enabled:
+				r.node.Enabled = true
+				r.node.Path = path
+				r.shapes = shapes
+			}
+			replies[i] = r
+		}(i, ns)
+	}
+	wg.Wait()
+	out := FleetLearn{Shapes: make(map[string]*learn.ShapeStats)}
+	for _, r := range replies {
+		out.Nodes = append(out.Nodes, r.node)
+		learn.MergeSnapshots(out.Shapes, r.shapes)
+	}
+	return out
+}
+
+// Close stops the health loops and the janitor, closes the WAL, and
+// returns. Backend nodes are independent processes and keep running.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+	if d.cfg.WAL != nil {
+		_ = d.cfg.WAL.Close()
+	}
+}
+
+// replayWALLocked rebuilds the dispatcher's job table from the log read at
+// OpenWAL. Terminal jobs come back as digest-only records; every other
+// accepted job re-enters the table with its last known assignment — the
+// first health sync confirms it (or hands it to the janitor for a
+// deterministic re-dispatch). Called from New before the loops start;
+// d.mu is held.
+func (d *Dispatcher) replayWALLocked() {
+	recs := d.cfg.WAL.replayRecords()
+	type slot struct {
+		accepted   *walRecord
+		dispatched *walRecord
+		terminal   *walRecord
+	}
+	slots := make(map[string]*slot)
+	var order []string
+	maxID := 0
+	for i := range recs {
+		rec := &recs[i]
+		s := slots[rec.Job]
+		if s == nil {
+			s = &slot{}
+			slots[rec.Job] = s
+			order = append(order, rec.Job)
+		}
+		switch rec.Op {
+		case walOpAccepted:
+			if s.accepted == nil {
+				s.accepted = rec
+			}
+		case walOpDispatched:
+			s.dispatched = rec
+		case walOpTerminal:
+			s.terminal = rec
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.Job, "j")); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	resumed, terminal := 0, 0
+	for _, id := range order {
+		s := slots[id]
+		if s.accepted == nil {
+			continue // dispatched/terminal noise without a spec; nothing to rebuild
+		}
+		a := s.accepted
+		j := &jobRecord{
+			id:         id,
+			body:       append([]byte(nil), a.Body...),
+			routingKey: a.RoutingKey,
+			name:       a.Name,
+			kind:       a.Kind,
+			solver:     a.Solver,
+			label:      a.Label,
+			submitted:  a.Time,
+			state:      string(service.StateQueued),
+			replayed:   true,
+		}
+		if j.solver == "" {
+			j.solver = "eblow"
+		}
+		switch {
+		case s.terminal != nil:
+			j.state = s.terminal.State
+			j.digest = s.terminal.Digest
+			j.errMsg = s.terminal.Error
+			j.node = s.terminal.Node
+			j.backendID = s.terminal.BackendID
+			j.terminal = true
+			j.walDone = true
+			terminal++
+		case s.dispatched != nil:
+			j.node = s.dispatched.Node
+			j.backendID = s.dispatched.BackendID
+			resumed++
+		default:
+			resumed++
+		}
+		j.status = synthStatus(j)
+		d.jobs[id] = j
+		d.order = append(d.order, id)
+	}
+	if maxID > d.nextID {
+		d.nextID = maxID
+	}
+	d.cfg.WAL.setReplayStats(resumed, terminal)
+}
+
+// Healthy reports whether the named node is currently on the ring.
+func (d *Dispatcher) Healthy(node string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ns := d.nodes[node]
+	return ns != nil && ns.alive
+}

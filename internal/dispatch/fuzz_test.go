@@ -1,0 +1,113 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDispatchProxy fuzzes the dispatcher's proxy surface: one backend job
+// document and one NDJSON event stream, both attacker-shaped. The
+// invariants: no panic, a document that decodes gets the public identity
+// stamped in, and every line the event proxy emits is well-formed JSON
+// carrying the public job ID — torn or malformed backend lines are
+// dropped, never forwarded.
+func FuzzDispatchProxy(f *testing.F) {
+	f.Add(
+		[]byte(`{"id":"b7","state":"done","result":{"digest":"sha256:ab","objective":12345678901234}}`),
+		[]byte("{\"seq\":1,\"job\":\"b7\",\"state\":\"queued\"}\n{\"seq\":2,\"job\":\"b7\",\"state\":\"done\"}\n"),
+	)
+	f.Add(
+		[]byte(`{"id":"b1","state":"running"}`),
+		[]byte("{\"seq\":1,\"job\":\"b1\",\"state\":\"running\"}\n{\"seq\":2,\"job\":\"b1\",\"st"), // torn tail
+	)
+	f.Add([]byte(`null`), []byte("not json at all\n\n{\"state\":\"done\"}\n"))
+	f.Add([]byte(`[1,2,3]`), []byte("{\"state\":8}\n{}\n"))
+	f.Add([]byte(`{"error":"boom","state":7}`), []byte("{\"state\":\"done\"} trailing junk\n"))
+
+	f.Fuzz(func(t *testing.T, doc, stream []byte) {
+		m, err := rewriteJobJSON(doc, "j9", "node-x")
+		if err == nil {
+			if m["id"] != "j9" {
+				t.Fatalf("rewritten document id = %v, want j9", m["id"])
+			}
+			if m["node"] != "node-x" {
+				t.Fatalf("rewritten document node = %v, want node-x", m["node"])
+			}
+			// The public document must re-encode; UseNumber means numbers
+			// survive as json.Number, never as lossy float64.
+			if _, err := json.Marshal(m); err != nil {
+				t.Fatalf("rewritten document does not re-encode: %v", err)
+			}
+			jobDocFields(m) // must not panic on any field shape
+		}
+
+		var out bytes.Buffer
+		_, perr := proxyEvents(&out, bytes.NewReader(stream), "j9", "node-x", nil)
+		if perr != nil && !errors.Is(perr, bufio.ErrTooLong) {
+			t.Fatalf("proxyEvents on an in-memory stream: %v", perr)
+		}
+		sc := bufio.NewScanner(&out)
+		sc.Buffer(make([]byte, 0, 64*1024), maxEventLine)
+		for sc.Scan() {
+			line := sc.Bytes()
+			var ev map[string]any
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatalf("proxied stream emitted a malformed line %q: %v", line, err)
+			}
+			if ev["job"] != "j9" {
+				t.Fatalf("proxied event carries job %v, want j9 (line %q)", ev["job"], line)
+			}
+			if ev["node"] != "node-x" {
+				t.Fatalf("proxied event carries node %v, want node-x", ev["node"])
+			}
+		}
+	})
+}
+
+// TestRewriteJobJSONPreservesNumbers pins the UseNumber contract: an int64
+// objective survives the proxy rewrite digit for digit instead of rounding
+// through float64.
+func TestRewriteJobJSONPreservesNumbers(t *testing.T) {
+	body := []byte(`{"id":"b1","state":"done","result":{"digest":"d","objective":9007199254740993}}`)
+	m, err := rewriteJobJSON(body, "j1", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "9007199254740993") {
+		t.Fatalf("objective lost precision through the rewrite: %s", out)
+	}
+	state, digest, _ := jobDocFields(m)
+	if state != "done" || digest != "d" {
+		t.Fatalf("jobDocFields = (%q, %q), want (done, d)", state, digest)
+	}
+}
+
+// TestRewriteEventLine covers the drop-don't-corrupt contract for single
+// lines.
+func TestRewriteEventLine(t *testing.T) {
+	if _, _, ok := rewriteEventLine([]byte(`{"state":"done"} extra`), "j1", "n"); ok {
+		t.Fatal("trailing garbage must be rejected")
+	}
+	if _, _, ok := rewriteEventLine([]byte(`[1,2]`), "j1", "n"); ok {
+		t.Fatal("non-object events must be rejected")
+	}
+	out, state, ok := rewriteEventLine([]byte(`{"seq":3,"job":"b9","state":"running"}`), "j1", "n")
+	if !ok || state != "running" {
+		t.Fatalf("rewriteEventLine ok=%v state=%q", ok, state)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal(out, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["job"] != "j1" || ev["node"] != "n" || ev["seq"] != float64(3) {
+		t.Fatalf("rewritten event = %v", ev)
+	}
+}

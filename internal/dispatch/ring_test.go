@@ -1,0 +1,155 @@
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingOwnerDeterministic pins the ring's cross-process stability: the
+// same nodes and key must resolve identically in a fresh ring (a restarted
+// dispatcher routes exactly like its predecessor).
+func TestRingOwnerDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		// Insertion order must not matter.
+		for _, n := range []string{"c", "a", "b"} {
+			r.Add(n)
+		}
+		return r
+	}
+	a, b := build(), NewRing(64)
+	for _, n := range []string{"a", "b", "c"} {
+		b.Add(n)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("shape-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs across identically-populated rings (%s vs %s)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(0)
+	if r.Owner("anything") != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+	r.Add("a")
+	if got := r.Owner("key"); got != "a" {
+		t.Fatalf("single-node ring owns everything; Owner = %q", got)
+	}
+	r.Add("a") // duplicate add is a no-op
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Add, want 1", r.Len())
+	}
+	r.Remove("missing") // absent remove is a no-op
+	r.Remove("a")
+	if r.Len() != 0 || r.Owner("key") != "" {
+		t.Fatal("removing the last node must empty the ring")
+	}
+}
+
+// TestRingRemapProperty is the satellite property test: across 20 random
+// seeds, adding one node remaps at most jobs/N + slack keys — and only
+// onto the new node — while removing one node remaps exactly the removed
+// node's keys, each onto some survivor. No key ever migrates between two
+// surviving nodes.
+func TestRingRemapProperty(t *testing.T) {
+	const (
+		keys   = 500
+		vnodes = 128
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(6) // 3..8 nodes
+			names := make([]string, n)
+			for i := range names {
+				names[i] = fmt.Sprintf("node-%d-%d", seed, rng.Intn(1_000_000))
+			}
+			r := NewRing(vnodes)
+			for _, name := range names {
+				r.Add(name)
+			}
+			jobKeys := make([]string, keys)
+			for i := range jobKeys {
+				jobKeys[i] = fmt.Sprintf("fp-%d-%d", seed, rng.Int63())
+			}
+			before := make(map[string]string, keys)
+			for _, k := range jobKeys {
+				before[k] = r.Owner(k)
+			}
+
+			// Expected share of a ring with n+1 nodes, plus slack for hash
+			// variance (vnodes=128 keeps the share within ~±35% whp; the
+			// slack below is far looser, the property still catches a
+			// broken ring that remaps O(jobs) keys).
+			slack := keys / 8
+			added := fmt.Sprintf("node-%d-added", seed)
+			r.Add(added)
+			moved := 0
+			for _, k := range jobKeys {
+				now := r.Owner(k)
+				if now == before[k] {
+					continue
+				}
+				if now != added {
+					t.Fatalf("add %q: key %q migrated between survivors %q -> %q", added, k, before[k], now)
+				}
+				moved++
+			}
+			if bound := keys/(n+1) + slack; moved > bound {
+				t.Fatalf("add: %d of %d keys remapped, want <= %d (n=%d)", moved, keys, bound, n)
+			}
+
+			// Remove the added node: exactly its keys move back, each to a
+			// survivor — and, since the ring is back to the original point
+			// set, to exactly their original owner.
+			r.Remove(added)
+			for _, k := range jobKeys {
+				if got := r.Owner(k); got != before[k] {
+					t.Fatalf("remove: key %q owned by %q, want its original owner %q", k, got, before[k])
+				}
+			}
+
+			// Remove one original node: only its keys remap, onto survivors.
+			victim := names[rng.Intn(n)]
+			r.Remove(victim)
+			for _, k := range jobKeys {
+				now := r.Owner(k)
+				if before[k] == victim {
+					if now == victim || now == "" {
+						t.Fatalf("remove %q: key %q still resolves to it", victim, k)
+					}
+					continue
+				}
+				if now != before[k] {
+					t.Fatalf("remove %q: unrelated key %q migrated %q -> %q", victim, k, before[k], now)
+				}
+			}
+		})
+	}
+}
+
+// TestRingBalance sanity-checks the virtual-node smoothing: with the
+// default vnode count no node's share is pathologically far from fair.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := make(map[string]int)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 || counts[n] > fair*2 {
+			t.Errorf("node %s owns %d of %d keys; want within [%d, %d]", n, counts[n], keys, fair/2, fair*2)
+		}
+	}
+}

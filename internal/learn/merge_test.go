@@ -1,0 +1,67 @@
+package learn
+
+import "testing"
+
+// TestMergeSnapshotsAggregatesFleet covers the exported merge the
+// dispatcher uses for fleet-wide GET /v1/learn: counters add, best
+// objectives take the minimum, unknown shapes and strategies appear, and
+// dst shares no memory with src.
+func TestMergeSnapshotsAggregatesFleet(t *testing.T) {
+	nodeA := map[string]*ShapeStats{
+		"1D/r:small/c:small/vsb:none/blank:low": {
+			Races: 3,
+			Strategies: map[string]*StrategyStats{
+				"sa24":   {Races: 3, Wins: 2, TotalElapsedMs: 30, BestObjective: 120},
+				"greedy": {Races: 3, Wins: 1, TotalElapsedMs: 3, BestObjective: 150},
+			},
+		},
+	}
+	nodeB := map[string]*ShapeStats{
+		"1D/r:small/c:small/vsb:none/blank:low": {
+			Races: 2,
+			Strategies: map[string]*StrategyStats{
+				"sa24":  {Races: 2, Wins: 2, TotalElapsedMs: 25, BestObjective: 100},
+				"row25": {Races: 2, Failures: 1, TotalElapsedMs: 9, BestObjective: -1},
+			},
+		},
+		"2D/r:small/c:big/vsb:none/blank:low": {
+			Races:      1,
+			Strategies: map[string]*StrategyStats{"sa24": {Races: 1, Wins: 1, TotalElapsedMs: 40, BestObjective: 900}},
+		},
+	}
+
+	dst := make(map[string]*ShapeStats)
+	MergeSnapshots(dst, nodeA)
+	MergeSnapshots(dst, nodeB)
+	MergeSnapshots(dst, nil) // nil fleet member is a no-op
+
+	if len(dst) != 2 {
+		t.Fatalf("merged %d shapes, want 2", len(dst))
+	}
+	shared := dst["1D/r:small/c:small/vsb:none/blank:low"]
+	if shared.Races != 5 {
+		t.Errorf("shared shape races = %d, want 5", shared.Races)
+	}
+	sa := shared.Strategies["sa24"]
+	if sa.Races != 5 || sa.Wins != 4 || sa.TotalElapsedMs != 55 {
+		t.Errorf("sa24 merged = %+v", sa)
+	}
+	if sa.BestObjective != 100 {
+		t.Errorf("sa24 best objective = %d, want the fleet minimum 100", sa.BestObjective)
+	}
+	if row := shared.Strategies["row25"]; row.BestObjective != -1 || row.Failures != 1 {
+		t.Errorf("row25 merged = %+v; a never-feasible strategy must stay at -1", row)
+	}
+	if dst["2D/r:small/c:big/vsb:none/blank:low"].Strategies["sa24"].BestObjective != 900 {
+		t.Error("node-unique shape lost in merge")
+	}
+
+	// dst must be isolated from src: mutating the merge result cannot
+	// corrupt a node's own snapshot.
+	sa.Wins = 1000
+	shared.Races = 1000
+	if nodeA["1D/r:small/c:small/vsb:none/blank:low"].Races != 3 ||
+		nodeB["1D/r:small/c:small/vsb:none/blank:low"].Strategies["sa24"].Wins != 2 {
+		t.Error("MergeSnapshots aliased src maps into dst")
+	}
+}

@@ -310,6 +310,15 @@ func writeFileAtomic(path string, stats map[string]*ShapeStats) error {
 	return nil
 }
 
+// MergeSnapshots adds src's per-shape statistics into dst: race counts and
+// per-strategy counters add field-wise, best objectives keep the minimum
+// (StrategyStats.add). dst keeps no references into src, so merging live
+// snapshots from several stores — the dispatcher aggregating GET /v1/learn
+// across a fleet — is safe. A nil src is a no-op.
+func MergeSnapshots(dst, src map[string]*ShapeStats) {
+	mergeInto(dst, src)
+}
+
 // mergeInto adds src's counts into dst (dst takes ownership of nothing in
 // src; every merged entry is copied or added field-wise).
 func mergeInto(dst, src map[string]*ShapeStats) {

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -165,8 +166,21 @@ type wireParams struct {
 }
 
 func decodeSubmit(r *http.Request) (JobSpec, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("service: reading request: %w", err)
+	}
+	return ParseSubmit(body)
+}
+
+// ParseSubmit validates one POST /v1/jobs body and resolves it to a job
+// spec, exactly as the HTTP handler would. The dispatcher front-end uses it
+// to validate submissions before routing, so a fleet rejects a bad request
+// identically to a single node — and never burns a WAL record or a backend
+// round-trip on one.
+func ParseSubmit(body []byte) (JobSpec, error) {
 	var req submitRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return JobSpec{}, fmt.Errorf("service: decoding request: %w", err)
